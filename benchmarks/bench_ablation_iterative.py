@@ -1,0 +1,14 @@
+"""Benchmark regenerating Ablation (iterative vs all-in-one).
+
+Run with `pytest benchmarks/bench_ablation_iterative.py --benchmark-only -s` to print the
+reproduced table alongside the timing.
+"""
+
+from repro.experiments import run_ablation_iterative
+
+
+def test_ablation_iterative(benchmark, ctx):
+    result = benchmark.pedantic(run_ablation_iterative, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.rows

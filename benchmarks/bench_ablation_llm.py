@@ -1,0 +1,14 @@
+"""Benchmark regenerating Ablation (LLM choice).
+
+Run with `pytest benchmarks/bench_ablation_llm.py --benchmark-only -s` to print the
+reproduced table alongside the timing.
+"""
+
+from repro.experiments import run_ablation_llm
+
+
+def test_ablation_llm(benchmark, ctx):
+    result = benchmark.pedantic(run_ablation_llm, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.rows

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 7 (missing-spec distribution).
+
+Run with `pytest benchmarks/bench_figure7.py --benchmark-only -s` to print the
+reproduced table alongside the timing.
+"""
+
+from repro.experiments import run_figure7
+
+
+def test_figure7(benchmark, ctx):
+    result = benchmark.pedantic(run_figure7, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.rows

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Table 1 (missing-spec generation + repair).
+
+Run with `pytest benchmarks/bench_table1.py --benchmark-only -s` to print the
+reproduced table alongside the timing.
+"""
+
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark, ctx):
+    result = benchmark.pedantic(run_table1, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.rows
+
+
+def test_correctness_audit(benchmark, ctx):
+    from repro.experiments import run_correctness_audit
+
+    audit = benchmark.pedantic(run_correctness_audit, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print("Correctness audit (§5.1.3):", audit.render())
+    assert audit.drivers_audited > 0

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 2 (new syscall/type descriptions).
+
+Run with `pytest benchmarks/bench_table2.py --benchmark-only -s` to print the
+reproduced table alongside the timing.
+"""
+
+from repro.experiments import run_table2
+
+
+def test_table2(benchmark, ctx):
+    result = benchmark.pedantic(run_table2, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.rows

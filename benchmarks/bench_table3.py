@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 3 (overall fuzzing effectiveness).
+
+Run with `pytest benchmarks/bench_table3.py --benchmark-only -s` to print the
+reproduced table alongside the timing.
+"""
+
+from repro.experiments import run_table3
+
+
+def test_table3(benchmark, ctx):
+    result = benchmark.pedantic(run_table3, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.rows

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 4 (bug detection by new specs).
+
+Run with `pytest benchmarks/bench_table4.py --benchmark-only -s` to print the
+reproduced table alongside the timing.
+"""
+
+from repro.experiments import run_table4
+
+
+def test_table4(benchmark, ctx):
+    result = benchmark.pedantic(run_table4, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.rows

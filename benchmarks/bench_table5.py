@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 5 (per-driver comparison).
+
+Run with `pytest benchmarks/bench_table5.py --benchmark-only -s` to print the
+reproduced table alongside the timing.
+"""
+
+from repro.experiments import run_table5
+
+
+def test_table5(benchmark, ctx):
+    result = benchmark.pedantic(run_table5, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.rows

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 6 (per-socket comparison).
+
+Run with `pytest benchmarks/bench_table6.py --benchmark-only -s` to print the
+reproduced table alongside the timing.
+"""
+
+from repro.experiments import run_table6
+
+
+def test_table6(benchmark, ctx):
+    result = benchmark.pedantic(run_table6, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.rows

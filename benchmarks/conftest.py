@@ -1,0 +1,11 @@
+"""Shared benchmark fixtures: one evaluation context per session."""
+
+import pytest
+
+from repro.experiments import EvaluationContext, quick
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Full-scale kernel, quick budgets; shared across every benchmark module."""
+    return EvaluationContext(quick())

@@ -1,0 +1,46 @@
+"""A Table 3-style campaign: Syzkaller alone vs Syzkaller + KernelGPT.
+
+Builds the existing-corpus baseline, generates KernelGPT specs for every
+handler with missing descriptions, merges the suites and compares coverage,
+unique coverage and crashes.
+"""
+
+from repro.baselines import build_syzkaller_corpus
+from repro.core import KernelGPT, select_target_handlers
+from repro.fuzzer import Fuzzer
+from repro.kernel import build_default_kernel
+from repro.llm import OracleBackend
+from repro.syzlang import SpecCorpus
+
+
+def main() -> None:
+    kernel = build_default_kernel("small")
+    syzkaller = build_syzkaller_corpus(kernel)
+    selection = select_target_handlers(kernel, syzkaller)
+    print(f"{len(selection.all_handlers)} handlers have missing descriptions")
+
+    generator = KernelGPT(kernel, OracleBackend())
+    run = generator.generate_for_handlers(list(selection.all_handlers))
+    kernelgpt = SpecCorpus("kernelgpt")
+    for handler, result in run.results.items():
+        if result.valid:
+            kernelgpt.add(handler, result.suite)
+    print(f"KernelGPT generated valid specs for {len(kernelgpt)} handlers "
+          f"({run.total_syscalls()} syscalls, {run.total_types()} types)")
+
+    baseline_suite = syzkaller.flatten("syzkaller")
+    combined_suite = syzkaller.merge_corpus(kernelgpt).flatten("syzkaller+kernelgpt")
+
+    baseline = Fuzzer(kernel, baseline_suite, seed=7).run(4000)
+    combined = Fuzzer(kernel, combined_suite, seed=7).run(4000)
+
+    print(f"\nSyzkaller             cov={baseline.coverage_count:6d} crashes={baseline.unique_crashes}")
+    print(f"Syzkaller + KernelGPT cov={combined.coverage_count:6d} crashes={combined.unique_crashes} "
+          f"unique-vs-baseline={combined.unique_coverage_vs(baseline)}")
+    print("\nbugs only the combined suite reaches:")
+    for title in combined.crash_log.titles():
+        print(f"  {title}")
+
+
+if __name__ == "__main__":
+    main()

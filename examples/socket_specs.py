@@ -1,0 +1,37 @@
+"""Socket specification generation (Table 6 scenario).
+
+SyzDescribe cannot analyse socket handlers at all; KernelGPT generates
+specifications for them and finds the RDS out-of-bounds bug that hides behind
+the missing ``sendto`` description.
+"""
+
+from repro.core import KernelGPT
+from repro.fuzzer import Fuzzer
+from repro.kernel import build_default_kernel
+from repro.llm import OracleBackend
+from repro.baselines import SyzDescribe, build_syzkaller_corpus
+
+
+def main() -> None:
+    kernel = build_default_kernel("small")
+    generator = KernelGPT(kernel, OracleBackend())
+    syzdescribe = SyzDescribe(kernel)
+    syzkaller = build_syzkaller_corpus(kernel)
+
+    for name in ("rds", "mptcp", "l2tp_ip6"):
+        handler = kernel.record_for_name(name).handler_name
+        kg = generator.generate_for_handler(handler)
+        sd = syzdescribe.analyze_handler(handler)
+        existing = syzkaller.get(handler)
+        print(f"{name:10s}  KernelGPT: {kg.syscall_count:3d} syscalls  "
+              f"Syzkaller: {len(existing) if existing else 0:3d}  "
+              f"SyzDescribe: {sd.reason or sd.syscall_count}")
+
+    rds = generator.generate_for_handler("rds_proto_ops")
+    campaign = Fuzzer(kernel, rds.suite, seed=3).run(3000)
+    print(f"\nfuzzing rds with the generated spec: {campaign.coverage_count} blocks, "
+          f"crashes: {list(campaign.crash_log.titles())}")
+
+
+if __name__ == "__main__":
+    main()

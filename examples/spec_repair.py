@@ -1,0 +1,36 @@
+"""Demonstrates the validation-and-repair loop (§3.2) in isolation.
+
+A deliberately broken specification (wrong macro spelling, missing type
+definition) is validated, the error messages are shown, and the repair prompts
+fix it against the kernel source.
+"""
+
+from repro.core import KernelGPT
+from repro.extractor import KernelExtractor
+from repro.kernel import build_default_kernel
+from repro.llm import DegradedBackend
+from repro.syzlang import validate_suite
+
+
+def main() -> None:
+    kernel = build_default_kernel("small")
+    extractor = KernelExtractor(kernel)
+
+    # A deliberately error-prone analyst: more misspelled constants and
+    # forgotten type definitions, so repair has plenty to do.
+    backend = DegradedBackend.gpt4(bad_constant_rate=0.9, undefined_type_rate=0.5, unrepairable_rate=0.0)
+    generator = KernelGPT(kernel, backend, extractor=extractor)
+
+    result = generator.generate_for_handler("snapshot_fops")
+    print(f"initially valid: {result.initially_valid}")
+    print(f"repaired:        {result.repaired} (rounds used: {result.repair_rounds_used})")
+    print(f"finally valid:   {result.valid}\n")
+
+    report = validate_suite(result.suite, kernel.constants)
+    print("final validation:", "clean" if report.is_valid else report.render())
+    print()
+    print(result.suite_text()[:1500])
+
+
+if __name__ == "__main__":
+    main()

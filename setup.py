@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (which need ``bdist_wheel``) cannot be built.  Keeping a setup.py
+lets ``pip install -e . --no-build-isolation`` (and plain
+``python setup.py develop``) fall back to the legacy editable install path.
+"""
+
+from setuptools import setup
+
+setup()

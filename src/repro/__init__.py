@@ -1,0 +1,83 @@
+"""KernelGPT reproduction library.
+
+A pure-Python, from-scratch reproduction of *KernelGPT: Enhanced Kernel
+Fuzzing via Large Language Models* (ASPLOS 2025), including every substrate
+the paper depends on: the syzlang specification language, a synthetic
+Linux-like kernel codebase, a source extractor, LLM analysis backends, the
+KernelGPT iterative specification generator, the SyzDescribe and Syzkaller
+baselines, a coverage-guided syscall fuzzer, and the evaluation harness that
+regenerates the paper's tables and figures.
+
+Quickstart::
+
+    from repro import build_default_kernel, KernelGPT, OracleBackend
+
+    kernel = build_default_kernel()
+    generator = KernelGPT(kernel=kernel, backend=OracleBackend(kernel))
+    result = generator.generate_for_handler("dm_ctl_fops")
+    print(result.suite_text())
+
+See ``examples/`` for runnable end-to-end scenarios and ``DESIGN.md`` for the
+system inventory.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from . import syzlang  # noqa: F401
+
+__all__ = ["__version__", "syzlang"]
+
+
+def _extend_api() -> None:
+    """Populate the top-level namespace with the main entry points.
+
+    Kept in a function so that partially-built source trees (during
+    development) still allow ``import repro`` and the syzlang layer.
+    """
+    global_api = globals()
+    try:
+        from .kernel import KernelCodebase, build_default_kernel
+        from .extractor import KernelExtractor
+        from .llm import DegradedBackend, OracleBackend, ReplayBackend
+        from .core import GenerationResult, KernelGPT
+        from .baselines import SyzDescribe, build_syzkaller_corpus
+        from .fuzzer import FuzzCampaign, Fuzzer, KernelExecutor
+    except ImportError:  # pragma: no cover - only during incremental builds
+        return
+    global_api.update(
+        build_default_kernel=build_default_kernel,
+        KernelCodebase=KernelCodebase,
+        KernelExtractor=KernelExtractor,
+        OracleBackend=OracleBackend,
+        DegradedBackend=DegradedBackend,
+        ReplayBackend=ReplayBackend,
+        KernelGPT=KernelGPT,
+        GenerationResult=GenerationResult,
+        SyzDescribe=SyzDescribe,
+        build_syzkaller_corpus=build_syzkaller_corpus,
+        FuzzCampaign=FuzzCampaign,
+        Fuzzer=Fuzzer,
+        KernelExecutor=KernelExecutor,
+    )
+    global_api["__all__"].extend(
+        [
+            "build_default_kernel",
+            "KernelCodebase",
+            "KernelExtractor",
+            "OracleBackend",
+            "DegradedBackend",
+            "ReplayBackend",
+            "KernelGPT",
+            "GenerationResult",
+            "SyzDescribe",
+            "build_syzkaller_corpus",
+            "FuzzCampaign",
+            "Fuzzer",
+            "KernelExecutor",
+        ]
+    )
+
+
+_extend_api()

@@ -1,0 +1,11 @@
+"""Baseline specification generators: existing Syzkaller corpus and SyzDescribe."""
+
+from .syzdescribe import SyzDescribe, SyzDescribeResult
+from .syzkaller import build_syzkaller_corpus, syzkaller_described_interfaces
+
+__all__ = [
+    "SyzDescribe",
+    "SyzDescribeResult",
+    "build_syzkaller_corpus",
+    "syzkaller_described_interfaces",
+]

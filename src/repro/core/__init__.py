@@ -1,0 +1,19 @@
+"""KernelGPT's core: iterative analysis, generation, validation and repair."""
+
+from .filtering import TargetSelection, described_interfaces, scan_missing_specs, select_target_handlers
+from .generator import DiscoveredOp, GenerationResult, GenerationRun, KernelGPT
+from .iterative import DEFAULT_MAX_ITERATIONS, IterationTrace, IterativeAnalyzer
+
+__all__ = [
+    "KernelGPT",
+    "GenerationResult",
+    "GenerationRun",
+    "DiscoveredOp",
+    "IterativeAnalyzer",
+    "IterationTrace",
+    "DEFAULT_MAX_ITERATIONS",
+    "TargetSelection",
+    "select_target_handlers",
+    "scan_missing_specs",
+    "described_interfaces",
+]

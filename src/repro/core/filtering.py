@@ -1,0 +1,80 @@
+"""Target-handler selection (§4 "Specification generation").
+
+KernelGPT does not generate specifications for every handler: it targets
+handlers that are loaded in the fuzzing configuration, skips debug-only and
+hardware-gated drivers, and focuses on handlers whose existing Syzkaller
+descriptions are missing or incomplete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernel import KernelCodebase
+from ..syzlang import MissingSpecsReport, SpecCorpus, missing_specs_report
+
+
+@dataclass(frozen=True)
+class TargetSelection:
+    """The handlers chosen for specification generation."""
+
+    driver_handlers: tuple[str, ...]
+    socket_handlers: tuple[str, ...]
+    report: MissingSpecsReport
+
+    @property
+    def all_handlers(self) -> tuple[str, ...]:
+        return self.driver_handlers + self.socket_handlers
+
+
+def described_interfaces(corpus: SpecCorpus) -> dict[str, list[str]]:
+    """Map each handler in a corpus to the interface keys it describes."""
+    described: dict[str, list[str]] = {}
+    for handler, suite in corpus:
+        keys: list[str] = []
+        for syscall in suite:
+            if syscall.name in ("ioctl", "setsockopt", "getsockopt"):
+                keys.append(f"{syscall.name}${syscall.variant}")
+            else:
+                keys.append(syscall.name)
+        described[handler] = keys
+    return described
+
+
+def scan_missing_specs(kernel: KernelCodebase, corpus: SpecCorpus) -> MissingSpecsReport:
+    """Compare the kernel's loaded handlers against an existing spec corpus."""
+    ground_truth = kernel.ground_truth_interfaces()
+    return missing_specs_report(corpus.name, ground_truth, described_interfaces(corpus))
+
+
+def select_target_handlers(
+    kernel: KernelCodebase,
+    corpus: SpecCorpus,
+    *,
+    only_incomplete: bool = True,
+) -> TargetSelection:
+    """Select the handlers KernelGPT should generate specifications for.
+
+    ``only_incomplete=True`` (the paper's setting for §5.1) restricts the
+    targets to loaded handlers with at least one missing syscall description;
+    ``False`` selects every loaded handler (used when regenerating specs for
+    the "existing" drivers of §5.2).
+    """
+    report = scan_missing_specs(kernel, corpus)
+    drivers: list[str] = []
+    sockets: list[str] = []
+    for coverage in report.coverages:
+        if only_incomplete and not coverage.is_incomplete:
+            continue
+        if coverage.kind == "driver":
+            drivers.append(coverage.handler)
+        else:
+            sockets.append(coverage.handler)
+    return TargetSelection(
+        driver_handlers=tuple(drivers),
+        socket_handlers=tuple(sockets),
+        report=report,
+    )
+
+
+__all__ = ["TargetSelection", "select_target_handlers", "scan_missing_specs", "described_interfaces"]

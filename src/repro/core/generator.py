@@ -1,0 +1,650 @@
+"""KernelGPT: the end-to-end specification generator.
+
+This module implements the paper's two automated phases on top of the
+substrates:
+
+* **Specification generation** (§3.1) — the three-stage pipeline (identifier
+  deduction, type recovery, dependency analysis), each stage running the
+  LLM-guided iterative analysis of Algorithm 1 against the source extractor
+  and the analysis backend;
+* **Specification validation and repair** (§3.2) — validating the assembled
+  suite with the syzlang validator and consulting the backend with the error
+  messages until the suite validates or the repair budget is exhausted.
+
+The public entry point is :class:`KernelGPT`; one call to
+:meth:`KernelGPT.generate_for_handler` produces a :class:`GenerationResult`
+holding the generated suite and full provenance (queries, repairs, validity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExtractionError, GenerationError, SyzlangParseError
+from ..extractor import HandlerInfo, KernelExtractor
+from ..kernel import KernelCodebase
+from ..llm import LLMBackend, OracleBackend, ParsedReply, PromptLibrary, UnknownItem
+from ..syzlang import (
+    ArrayType,
+    ConstType,
+    ConstantTable,
+    IntType,
+    LenType,
+    Param,
+    PtrType,
+    ResourceDef,
+    ResourceRef,
+    SpecSuite,
+    SpecValidator,
+    StringType,
+    Syscall,
+    ValidationReport,
+    parse_suite,
+    serialize_suite,
+)
+from .iterative import DEFAULT_MAX_ITERATIONS, IterativeAnalyzer
+
+_GENERIC_WITH_VARIANT = ("ioctl", "setsockopt", "getsockopt")
+_MESSAGE_SYSCALLS = ("bind", "connect", "accept", "sendto", "recvfrom", "sendmsg", "recvmsg", "poll")
+
+
+@dataclass
+class DiscoveredOp:
+    """One operation discovered during identifier deduction."""
+
+    identifier: str
+    syscall: str
+    handler_fn: str | None = None
+    arg_type: str | None = None      # struct name, or "scalar"/"none"
+    direction: str = "in"
+    produces: str | None = None      # resource name created by this op
+    produces_handler: str | None = None
+    consumes: str | None = None      # resource (other than the primary fd) required
+
+
+@dataclass
+class GenerationResult:
+    """Everything produced while generating one handler's specification."""
+
+    handler_name: str
+    kind: str
+    name: str
+    suite: SpecSuite
+    device_path: str | None = None
+    socket_family: str | None = None
+    valid: bool = False
+    initially_valid: bool = False
+    repaired: bool = False
+    repair_rounds_used: int = 0
+    queries: int = 0
+    validation_report: ValidationReport | None = None
+    ops: list[DiscoveredOp] = field(default_factory=list)
+    mode: str = "iterative"
+
+    @property
+    def syscall_count(self) -> int:
+        return len(self.suite)
+
+    @property
+    def type_count(self) -> int:
+        return self.suite.stats()["types"]
+
+    def suite_text(self) -> str:
+        """The generated specification rendered as syzlang text."""
+        return serialize_suite(self.suite)
+
+
+@dataclass
+class GenerationRun:
+    """Aggregate of a multi-handler generation campaign."""
+
+    results: dict[str, GenerationResult] = field(default_factory=dict)
+
+    def valid_results(self) -> list[GenerationResult]:
+        return [result for result in self.results.values() if result.valid]
+
+    def total_syscalls(self) -> int:
+        return sum(result.syscall_count for result in self.valid_results())
+
+    def total_types(self) -> int:
+        return sum(result.type_count for result in self.valid_results())
+
+    def merged_suite(self, name: str = "kernelgpt") -> SpecSuite:
+        merged = SpecSuite(name)
+        for result in self.valid_results():
+            merged = merged.merge(result.suite)
+        merged.name = name
+        return merged
+
+
+class KernelGPT:
+    """The specification generator."""
+
+    def __init__(
+        self,
+        kernel: KernelCodebase,
+        backend: LLMBackend | None = None,
+        *,
+        extractor: KernelExtractor | None = None,
+        prompts: PromptLibrary | None = None,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        repair_rounds: int = 3,
+        repair: bool = True,
+    ):
+        self.kernel = kernel
+        self.backend = backend or OracleBackend()
+        self.extractor = extractor or KernelExtractor(kernel)
+        self.prompts = prompts or PromptLibrary()
+        self.max_iterations = max_iterations
+        self.repair_rounds = repair_rounds
+        self.repair_enabled = repair
+        self._constants = self.extractor.constants()
+        self._validator = SpecValidator(self._constants, warn_unused=False)
+        self._analyzer = IterativeAnalyzer(self.backend, self.extractor, max_iterations=max_iterations)
+        # Typedef blocks produced by type-stage replies, keyed by struct name.
+        self._pending_typedefs: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ API
+    def generate_for_handler(self, handler_name: str) -> GenerationResult:
+        """Generate, validate and (if needed) repair the spec for one handler."""
+        info = self.extractor.handler(handler_name)
+        queries_before = self.backend.usage.queries
+        name = self._readable_name(info)
+        self._pending_typedefs = {}
+
+        ops, device_path, socket_identity = self._identifier_stage(info)
+        self._type_stage(info, ops)
+        typedefs = self._collect_typedefs(info, ops)
+        self._dependency_stage(info, ops)
+        secondary_ops, secondary_typedefs = self._analyze_secondary_handlers(info, ops)
+        ops.extend(secondary_ops)
+        typedefs.update(secondary_typedefs)
+
+        suite = self._assemble(info, name, ops, device_path, socket_identity, typedefs)
+        result = GenerationResult(
+            handler_name=handler_name,
+            kind=info.kind,
+            name=name,
+            suite=suite,
+            device_path=device_path,
+            socket_family=socket_identity[0] if socket_identity else None,
+            ops=ops,
+        )
+        self._validate_and_repair(info, result)
+        result.queries = self.backend.usage.queries - queries_before
+        return result
+
+    def generate_for_handlers(self, handler_names: list[str]) -> GenerationRun:
+        """Generate specifications for many handlers (a full campaign)."""
+        run = GenerationRun()
+        for handler_name in handler_names:
+            try:
+                run.results[handler_name] = self.generate_for_handler(handler_name)
+            except (ExtractionError, GenerationError):
+                continue
+        return run
+
+    def generate_all_in_one(self, handler_name: str) -> GenerationResult:
+        """Single-prompt generation used by the §5.2.3 ablation."""
+        info = self.extractor.handler(handler_name)
+        queries_before = self.backend.usage.queries
+        name = self._readable_name(info)
+        registration = self._registration_text(info)
+        code_parts = [registration]
+        if info.ioctl_fn and self.extractor.has_definition(info.ioctl_fn):
+            code_parts.append(self.extractor.extract_code(info.ioctl_fn))
+            # Include directly-referenced sub-handlers and structs, as far as
+            # the prompt size allows; the point of the ablation is that this
+            # is all the model gets.
+            for called in self.extractor.function(info.ioctl_fn).calls():
+                if self.extractor.has_definition(called):
+                    code_parts.append(self.extractor.extract_code(called))
+        for _, fn_name in info.syscall_fns:
+            if self.extractor.has_definition(fn_name):
+                code_parts.append(self.extractor.extract_code(fn_name))
+        prompt = self.prompts.all_in_one_prompt(
+            handler_name, kind=info.kind, registration=registration, code="\n\n".join(code_parts)
+        )
+        from ..llm import parse_reply
+
+        reply = parse_reply(self.backend.query(prompt).text)
+        ops: list[DiscoveredOp] = []
+        for record in reply.identifiers:
+            ops.append(
+                DiscoveredOp(
+                    identifier=record.get("IDENT", ""),
+                    syscall=record.get("SYSCALL", "ioctl"),
+                    handler_fn=record.get("HANDLER"),
+                )
+            )
+        for record in reply.argtypes:
+            for op in ops:
+                if op.identifier == record.get("IDENT"):
+                    op.arg_type = record.get("TYPE")
+                    op.direction = record.get("DIR", "in")
+        typedefs = dict(reply.typedefs)
+        device_path = reply.device_path
+        socket_identity = None
+        if reply.socket_family:
+            socket_identity = (reply.socket_family, reply.socket_type or 2, reply.socket_protocol or 0)
+        suite = self._assemble(info, name, ops, device_path, socket_identity, typedefs)
+        result = GenerationResult(
+            handler_name=handler_name,
+            kind=info.kind,
+            name=name,
+            suite=suite,
+            device_path=device_path,
+            socket_family=reply.socket_family,
+            ops=ops,
+            mode="all-in-one",
+        )
+        self._validate_and_repair(info, result)
+        result.queries = self.backend.usage.queries - queries_before
+        return result
+
+    # ------------------------------------------------------------ stage 1
+    def _identifier_stage(self, info: HandlerInfo) -> tuple[list[DiscoveredOp], str | None, tuple | None]:
+        registration = self._registration_text(info)
+        initial_code = self._dispatch_code(info)
+        ops: list[DiscoveredOp] = []
+        device_path: str | None = None
+        socket_identity: tuple | None = None
+        seen: set[tuple[str, str]] = set()
+
+        def on_reply(reply: ParsedReply) -> None:
+            nonlocal device_path, socket_identity
+            if reply.device_path and device_path is None:
+                device_path = reply.device_path
+            if reply.socket_family and socket_identity is None:
+                socket_identity = (reply.socket_family, reply.socket_type or 2, reply.socket_protocol or 0)
+            for record in reply.identifiers:
+                identifier = record.get("IDENT", "")
+                syscall = record.get("SYSCALL", "ioctl")
+                if not identifier or (identifier, syscall) in seen:
+                    continue
+                seen.add((identifier, syscall))
+                ops.append(
+                    DiscoveredOp(
+                        identifier=identifier,
+                        syscall=syscall,
+                        handler_fn=record.get("HANDLER"),
+                    )
+                )
+
+        self._analyzer.run(
+            lambda code, unknowns: self.prompts.identifier_prompt(
+                info.handler_name,
+                kind=info.kind,
+                registration=registration,
+                code=code,
+                unknowns=unknowns,
+            ),
+            initial_code=initial_code,
+            on_reply=on_reply,
+        )
+        return ops, device_path, socket_identity
+
+    # ------------------------------------------------------------ stage 2
+    def _type_stage(self, info: HandlerInfo, ops: list[DiscoveredOp]) -> None:
+        for op in ops:
+            if op.syscall in ("poll", "accept"):
+                op.arg_type = "none"
+                continue
+            code = self._op_code(info, op)
+            if not code:
+                op.arg_type = "none"
+                continue
+
+            def on_reply(reply: ParsedReply, op=op) -> None:
+                for record in reply.argtypes:
+                    if record.get("IDENT") in (op.identifier, None):
+                        op.arg_type = record.get("TYPE") or op.arg_type
+                        op.direction = record.get("DIR", op.direction)
+                for struct_name, text in reply.typedefs:
+                    self._pending_typedefs[struct_name] = text
+
+            self._analyzer.run(
+                lambda code_text, unknowns, op=op: self.prompts.type_prompt(
+                    info.handler_name,
+                    identifier=op.identifier,
+                    code=code_text,
+                    unknowns=unknowns,
+                ),
+                initial_code=code,
+                on_reply=on_reply,
+            )
+
+    def _collect_typedefs(self, info: HandlerInfo, ops: list[DiscoveredOp]) -> dict[str, str]:
+        """Snapshot the typedef blocks accumulated during the type stage."""
+        return dict(self._pending_typedefs)
+
+    # ------------------------------------------------------------ stage 3
+    def _dependency_stage(self, info: HandlerInfo, ops: list[DiscoveredOp]) -> None:
+        blocks: list[str] = []
+        for op in ops:
+            if not op.handler_fn or not self.extractor.has_definition(op.handler_fn):
+                continue
+            blocks.append(f"/* operation: {op.identifier} */\n{self.extractor.extract_code(op.handler_fn)}")
+        if not blocks:
+            return
+        from ..llm import parse_reply
+
+        prompt = self.prompts.dependency_prompt(info.handler_name, code="\n\n".join(blocks))
+        reply = parse_reply(self.backend.query(prompt).text)
+        for record in reply.dependencies:
+            identifier = record.get("IDENT", "")
+            for op in ops:
+                if op.identifier == identifier:
+                    op.produces = record.get("PRODUCES")
+                    op.produces_handler = record.get("HANDLER")
+
+    def _analyze_secondary_handlers(
+        self, info: HandlerInfo, ops: list[DiscoveredOp], *, depth: int = 0
+    ) -> tuple[list[DiscoveredOp], dict[str, str]]:
+        """Analyse handlers reached through produced resources (e.g. KVM VM fds).
+
+        Recurses (bounded by the iteration limit) so chains like
+        ``/dev/kvm → VM fd → VCPU fd`` are fully discovered.
+        """
+        secondary_ops: list[DiscoveredOp] = []
+        typedefs: dict[str, str] = {}
+        if depth >= self.max_iterations:
+            return secondary_ops, typedefs
+        for op in ops:
+            if not op.produces or not op.produces_handler:
+                continue
+            try:
+                secondary_info = self.extractor.handler(op.produces_handler)
+            except ExtractionError:
+                continue
+            saved_typedefs = dict(self._pending_typedefs)
+            self._pending_typedefs = {}
+            new_ops, _, _ = self._identifier_stage(secondary_info)
+            self._type_stage(secondary_info, new_ops)
+            self._dependency_stage(secondary_info, new_ops)
+            typedefs.update(self._pending_typedefs)
+            self._pending_typedefs = saved_typedefs
+            for new_op in new_ops:
+                new_op.consumes = op.produces
+            nested_ops, nested_typedefs = self._analyze_secondary_handlers(
+                secondary_info, new_ops, depth=depth + 1
+            )
+            secondary_ops.extend(new_ops)
+            secondary_ops.extend(nested_ops)
+            typedefs.update(nested_typedefs)
+        return secondary_ops, typedefs
+
+    # ------------------------------------------------------------ assembly
+    def _assemble(
+        self,
+        info: HandlerInfo,
+        name: str,
+        ops: list[DiscoveredOp],
+        device_path: str | None,
+        socket_identity: tuple | None,
+        typedefs: dict[str, str],
+    ) -> SpecSuite:
+        suite = SpecSuite(f"kernelgpt-{name}")
+        for struct_name, text in typedefs.items():
+            try:
+                parsed = parse_suite(text)
+            except SyzlangParseError:
+                continue
+            for parsed_name, struct in parsed.structs.items():
+                suite.add_struct(struct, replace_existing=True)
+            for parsed_name, union in parsed.unions.items():
+                suite.add_union(union, replace_existing=True)
+
+        if info.kind == "driver":
+            self._assemble_driver(suite, info, name, ops, device_path)
+        else:
+            self._assemble_socket(suite, info, name, ops, socket_identity)
+        return suite
+
+    def _assemble_driver(
+        self,
+        suite: SpecSuite,
+        info: HandlerInfo,
+        name: str,
+        ops: list[DiscoveredOp],
+        device_path: str | None,
+    ) -> None:
+        fd_resource = f"fd_{name}"
+        suite.add_resource(ResourceDef(fd_resource, "fd"), replace_existing=True)
+        path = device_path or f"/dev/{name}"
+        suite.add_syscall(
+            Syscall(
+                name="openat",
+                variant=name,
+                params=(
+                    Param("fd", ConstType("AT_FDCWD", "int64")),
+                    Param("file", PtrType("in", StringType((path,)))),
+                    Param("flags", ConstType("O_RDWR", "int32")),
+                ),
+                returns=ResourceRef(fd_resource),
+                comment=f"generated by KernelGPT for {info.handler_name}",
+            ),
+            replace_existing=True,
+        )
+        secondary_resources: dict[str, str] = {}
+        for op in ops:
+            if op.produces:
+                resource_name = f"fd_{op.produces}"
+                secondary_resources[op.produces] = resource_name
+                if resource_name not in suite.resources:
+                    suite.add_resource(ResourceDef(resource_name, "fd"), replace_existing=True)
+        for op in ops:
+            if op.syscall != "ioctl":
+                continue
+            fd_name = fd_resource
+            if op.consumes and op.consumes in secondary_resources:
+                fd_name = secondary_resources[op.consumes]
+            params = [
+                Param("fd", ResourceRef(fd_name)),
+                Param("cmd", ConstType(op.identifier, "int32")),
+                Param("arg", self._arg_expr(op)),
+            ]
+            returns = None
+            if op.produces:
+                returns = ResourceRef(secondary_resources[op.produces])
+            suite.add_syscall(
+                Syscall(name="ioctl", variant=op.identifier, params=tuple(params), returns=returns),
+                replace_existing=True,
+            )
+
+    def _assemble_socket(
+        self,
+        suite: SpecSuite,
+        info: HandlerInfo,
+        name: str,
+        ops: list[DiscoveredOp],
+        socket_identity: tuple | None,
+    ) -> None:
+        sock_resource = f"sock_{name}"
+        suite.add_resource(ResourceDef(sock_resource, "sock"), replace_existing=True)
+        family, sock_type, protocol = socket_identity or ("AF_UNIX", 2, 0)
+        suite.add_syscall(
+            Syscall(
+                name="socket",
+                variant=name,
+                params=(
+                    Param("domain", ConstType(family, "int32")),
+                    Param("type", ConstType(sock_type, "int32")),
+                    Param("proto", ConstType(protocol, "int32")),
+                ),
+                returns=ResourceRef(sock_resource),
+                comment=f"generated by KernelGPT for {info.handler_name}",
+            ),
+            replace_existing=True,
+        )
+        for op in ops:
+            if op.syscall in ("setsockopt", "getsockopt"):
+                direction = "in" if op.syscall == "setsockopt" else "out"
+                params = (
+                    Param("fd", ResourceRef(sock_resource)),
+                    Param("level", ConstType(0, "int32")),
+                    Param("optname", ConstType(op.identifier, "int32")),
+                    Param("optval", PtrType(direction, self._payload_expr(op))),
+                    Param("optlen", LenType("optval", "int32")),
+                )
+                suite.add_syscall(
+                    Syscall(name=op.syscall, variant=op.identifier, params=params),
+                    replace_existing=True,
+                )
+            elif op.syscall in ("bind", "connect"):
+                params = (
+                    Param("fd", ResourceRef(sock_resource)),
+                    Param("addr", PtrType("in", self._payload_expr(op))),
+                    Param("addrlen", LenType("addr", "int32")),
+                )
+                suite.add_syscall(Syscall(name=op.syscall, variant=name, params=params), replace_existing=True)
+            elif op.syscall in ("sendto", "recvfrom", "sendmsg", "recvmsg"):
+                direction = "in" if op.syscall.startswith("send") else "out"
+                params = (
+                    Param("fd", ResourceRef(sock_resource)),
+                    Param("buf", PtrType(direction, self._payload_expr(op))),
+                    Param("len", LenType("buf", "int64")),
+                    Param("flags", ConstType(0, "int32")),
+                )
+                suite.add_syscall(Syscall(name=op.syscall, variant=name, params=params), replace_existing=True)
+            elif op.syscall in ("accept", "poll"):
+                params = (Param("fd", ResourceRef(sock_resource)),)
+                suite.add_syscall(Syscall(name=op.syscall, variant=name, params=params), replace_existing=True)
+
+    def _arg_expr(self, op: DiscoveredOp):
+        if op.arg_type in (None, "none"):
+            return ConstType(0, "int64")
+        if op.arg_type == "scalar":
+            return IntType("int64")
+        from ..syzlang import NamedTypeRef
+
+        direction = op.direction if op.direction in ("in", "out", "inout") else "in"
+        return PtrType(direction, NamedTypeRef(op.arg_type))
+
+    def _payload_expr(self, op: DiscoveredOp):
+        from ..syzlang import NamedTypeRef
+
+        if op.arg_type in (None, "none", "scalar"):
+            return ArrayType(IntType("int8"))
+        return NamedTypeRef(op.arg_type)
+
+    # --------------------------------------------------- validation + repair
+    def _validate_and_repair(self, info: HandlerInfo, result: GenerationResult) -> None:
+        report = self._validator.validate(result.suite)
+        result.initially_valid = report.is_valid
+        result.validation_report = report
+        result.valid = report.is_valid
+        if report.is_valid or not self.repair_enabled:
+            return
+
+        context = self._repair_context(info)
+        for round_index in range(1, self.repair_rounds + 1):
+            result.repair_rounds_used = round_index
+            changed = False
+            for subject in report.subjects_with_errors():
+                description = self._describe_subject(result.suite, subject)
+                errors = "\n".join(issue.render() for issue in report.issues_for(subject))
+                prompt = self.prompts.repair_prompt(
+                    info.handler_name, description=description, errors=errors, code=context
+                )
+                from ..llm import parse_reply
+
+                reply = parse_reply(self.backend.query(prompt).text)
+                if not reply.repaired_text:
+                    continue
+                if self._apply_repair(result.suite, reply.repaired_text, original_subject=subject):
+                    changed = True
+            report = self._validator.validate(result.suite)
+            result.validation_report = report
+            if report.is_valid:
+                result.valid = True
+                result.repaired = True
+                return
+            if not changed:
+                break
+        result.valid = report.is_valid
+
+    def _repair_context(self, info: HandlerInfo) -> str:
+        """Macro definitions and struct sources from the handler's file."""
+        unit = self.extractor.translation_unit(info.file)
+        defines = "\n".join(macro.text for macro in unit.macros.values())
+        structs = "\n\n".join(struct.text for struct in unit.structs.values())
+        return defines + "\n\n" + structs
+
+    @staticmethod
+    def _describe_subject(suite: SpecSuite, subject: str) -> str:
+        if subject in suite.syscalls:
+            return suite.syscalls[subject].render()
+        type_def = suite.get_type_def(subject)
+        if type_def is not None:
+            return type_def.render()
+        return subject
+
+    @staticmethod
+    def _apply_repair(suite: SpecSuite, repaired_text: str, *, original_subject: str = "") -> bool:
+        try:
+            parsed = parse_suite(repaired_text)
+        except SyzlangParseError:
+            return False
+        changed = False
+        for syscall in parsed:
+            suite.add_syscall(syscall, replace_existing=True)
+            changed = True
+        # A repair frequently renames the offending description (for example
+        # when the wrong macro also appeared in the variant suffix); drop the
+        # original so the invalid version does not linger in the suite.
+        if changed and original_subject and original_subject in suite.syscalls:
+            if original_subject not in parsed.syscalls:
+                suite.remove_syscall(original_subject)
+        for struct in parsed.structs.values():
+            suite.add_struct(struct, replace_existing=True)
+            changed = True
+        for union in parsed.unions.values():
+            suite.add_union(union, replace_existing=True)
+            changed = True
+        for resource in parsed.resources.values():
+            suite.add_resource(resource, replace_existing=True)
+            changed = True
+        return changed
+
+    # --------------------------------------------------------------- helpers
+    def _registration_text(self, info: HandlerInfo) -> str:
+        parts = [info.initializer_text]
+        parts.extend(info.usage_snippets)
+        return "\n\n".join(part for part in parts if part)
+
+    def _dispatch_code(self, info: HandlerInfo) -> str:
+        parts: list[str] = []
+        if info.ioctl_fn and self.extractor.has_definition(info.ioctl_fn):
+            parts.append(self.extractor.extract_code(info.ioctl_fn))
+        for _, fn_name in info.syscall_fns:
+            if self.extractor.has_definition(fn_name):
+                parts.append(self.extractor.extract_code(fn_name))
+        if info.kind == "socket":
+            parts.insert(0, info.initializer_text)
+        return "\n\n".join(parts) if parts else info.initializer_text
+
+    def _op_code(self, info: HandlerInfo, op: DiscoveredOp) -> str:
+        if op.handler_fn and self.extractor.has_definition(op.handler_fn):
+            return self.extractor.extract_code(op.handler_fn)
+        # Socket options: the dispatch function contains the per-option logic.
+        for member, fn_name in info.syscall_fns:
+            if member == op.syscall and self.extractor.has_definition(fn_name):
+                return self.extractor.extract_code(fn_name)
+        if op.syscall in ("setsockopt", "getsockopt"):
+            candidate = f"{info.handler_name.removesuffix('_proto_ops')}_{op.syscall}"
+            if self.extractor.has_definition(candidate):
+                return self.extractor.extract_code(candidate)
+        if info.ioctl_fn and self.extractor.has_definition(info.ioctl_fn):
+            return self.extractor.extract_code(info.ioctl_fn)
+        return ""
+
+    @staticmethod
+    def _readable_name(info: HandlerInfo) -> str:
+        name = info.handler_name.lstrip("_")
+        for suffix in ("_fops", "_proto_ops", "_ops"):
+            name = name.removesuffix(suffix)
+        return name or info.handler_name
+
+
+__all__ = ["KernelGPT", "GenerationResult", "GenerationRun", "DiscoveredOp"]

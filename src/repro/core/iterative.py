@@ -1,0 +1,95 @@
+"""LLM-guided iterative analysis (Algorithm 1 of the paper).
+
+The loop is stage-agnostic: it sends a prompt, parses the reply, resolves
+every UNKNOWN item through the extractor (``ExtractCode``), and re-queries
+with the accumulated code until no unknowns remain or ``max_iterations`` is
+reached.  Already-extracted identifiers are cached so repeated references do
+not grow the prompt, mirroring the paper's path-caching implementation note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ExtractionError
+from ..extractor import KernelExtractor
+from ..llm import LLMBackend, ParsedReply, Prompt, UnknownItem, parse_reply
+
+#: Default iteration bound (MAX_ITER in Algorithm 1).
+DEFAULT_MAX_ITERATIONS = 5
+
+
+@dataclass
+class IterationTrace:
+    """Record of one analysis loop, useful for debugging and tests."""
+
+    prompts: list[Prompt] = field(default_factory=list)
+    replies: list[ParsedReply] = field(default_factory=list)
+    resolved_unknowns: list[str] = field(default_factory=list)
+    unresolved_unknowns: list[str] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.prompts)
+
+
+class IterativeAnalyzer:
+    """Runs the Analyze() loop of Algorithm 1 for one stage."""
+
+    def __init__(
+        self,
+        backend: LLMBackend,
+        extractor: KernelExtractor,
+        *,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    ):
+        self._backend = backend
+        self._extractor = extractor
+        self._max_iterations = max_iterations
+
+    def run(
+        self,
+        build_prompt: Callable[[str, list[UnknownItem]], Prompt],
+        *,
+        initial_code: str,
+        on_reply: Callable[[ParsedReply], None],
+    ) -> IterationTrace:
+        """Run the loop.
+
+        ``build_prompt(code, unknowns)`` renders the stage prompt for the
+        current accumulated code; ``on_reply`` consumes each parsed reply (the
+        caller accumulates identifiers/typedefs/dependencies across
+        iterations).
+        """
+        trace = IterationTrace()
+        code = initial_code
+        unknowns: list[UnknownItem] = []
+        extracted: set[str] = set()
+
+        for _ in range(self._max_iterations):
+            prompt = build_prompt(code, unknowns)
+            trace.prompts.append(prompt)
+            reply = parse_reply(self._backend.query(prompt).text)
+            trace.replies.append(reply)
+            on_reply(reply)
+
+            pending = [item for item in reply.unknowns if item.name not in extracted]
+            if not pending:
+                break
+            unknowns = pending
+            additions: list[str] = []
+            for item in pending:
+                extracted.add(item.name)
+                try:
+                    additions.append(self._extractor.extract_code(item.name))
+                    trace.resolved_unknowns.append(item.name)
+                except ExtractionError:
+                    trace.unresolved_unknowns.append(item.name)
+            if not additions:
+                break
+            code = code + "\n\n" + "\n\n".join(additions)
+        return trace
+
+
+__all__ = ["IterativeAnalyzer", "IterationTrace", "DEFAULT_MAX_ITERATIONS"]

@@ -1,0 +1,92 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+one base class at API boundaries.  Subsystem-specific errors refine it with
+the context a user needs to diagnose the failure (which spec, which handler,
+which prompt).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class SyzlangError(ReproError):
+    """Base class for errors in the syzlang subsystem."""
+
+
+class SyzlangParseError(SyzlangError):
+    """Raised when syzlang source text cannot be parsed.
+
+    Attributes
+    ----------
+    line:
+        1-based line number of the offending construct, when known.
+    snippet:
+        The source line (or fragment) that failed to parse.
+    """
+
+    def __init__(self, message: str, *, line: int | None = None, snippet: str | None = None):
+        self.line = line
+        self.snippet = snippet
+        location = f" (line {line})" if line is not None else ""
+        detail = f": {snippet!r}" if snippet else ""
+        super().__init__(f"{message}{location}{detail}")
+
+
+class SpecValidationError(SyzlangError):
+    """Raised when validation is asked to fail hard on an invalid spec suite."""
+
+
+class KernelModelError(ReproError):
+    """Raised when the synthetic kernel substrate is constructed inconsistently."""
+
+
+class ExtractionError(ReproError):
+    """Raised when the source extractor cannot parse or locate a construct."""
+
+
+class CLexError(ExtractionError):
+    """Raised when the C-subset lexer hits an unrecognised character sequence."""
+
+
+class CParseError(ExtractionError):
+    """Raised when the C-subset parser cannot make sense of a declaration."""
+
+
+class LLMError(ReproError):
+    """Base class for analysis-LLM backend errors."""
+
+
+class LLMProtocolError(LLMError):
+    """Raised when a backend returns a completion the pipeline cannot interpret."""
+
+
+class LLMBudgetExceeded(LLMError):
+    """Raised when a backend exceeds its configured token or query budget."""
+
+
+class GenerationError(ReproError):
+    """Raised when the specification-generation pipeline fails irrecoverably."""
+
+
+class RepairError(GenerationError):
+    """Raised when the repair loop exhausts its attempts without a valid spec."""
+
+
+class FuzzerError(ReproError):
+    """Base class for fuzzing-substrate errors."""
+
+
+class ProgramError(FuzzerError):
+    """Raised when a syscall program is structurally invalid."""
+
+
+class ExecutorError(FuzzerError):
+    """Raised when the simulated kernel executor is driven incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is misconfigured."""

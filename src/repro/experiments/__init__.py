@@ -1,0 +1,34 @@
+"""Evaluation harness: one module per paper table/figure plus the ablations."""
+
+from .ablation_iterative import run_ablation_iterative
+from .ablation_llm import run_ablation_llm
+from .config import ExperimentConfig, paper, quick
+from .context import EvaluationContext, shared_context
+from .figure7 import run_figure7
+from .reporting import TableResult
+from .table1 import CorrectnessAudit, run_correctness_audit, run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .table5 import run_table5
+from .table6 import run_table6
+
+__all__ = [
+    "ExperimentConfig",
+    "quick",
+    "paper",
+    "EvaluationContext",
+    "shared_context",
+    "TableResult",
+    "run_table1",
+    "run_correctness_audit",
+    "CorrectnessAudit",
+    "run_table2",
+    "run_figure7",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_ablation_iterative",
+    "run_ablation_llm",
+]

@@ -1,0 +1,49 @@
+"""Experiment configuration presets.
+
+Two presets are provided: ``quick()`` keeps every campaign small enough for
+CI / pytest-benchmark runs (seconds to a few minutes in total), while
+``paper()`` scales the kernel, budgets and repetitions to the settings used
+for EXPERIMENTS.md.  Absolute numbers differ between presets; the shapes the
+paper reports (orderings, ratios, who finds which bug) hold in both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment."""
+
+    name: str = "quick"
+    kernel_scale: str = "full"        # "full" = paper scan scale, "small" = test kernel
+    repetitions: int = 1              # fuzzing repetitions per configuration (paper: 3)
+    overall_budget: int = 4000        # programs per campaign for Table 3
+    per_driver_budget: int = 800      # programs per campaign for Tables 5/6
+    bug_budget: int = 2500            # programs per campaign for Table 4
+    ablation_drivers: int = 10        # first N valid drivers for the §5.2.3 ablations
+    seed: int = 2025
+
+    def with_overrides(self, **overrides) -> "ExperimentConfig":
+        return replace(self, **overrides)
+
+
+def quick() -> ExperimentConfig:
+    """Fast settings for tests and benchmarks."""
+    return ExperimentConfig()
+
+
+def paper() -> ExperimentConfig:
+    """Settings used to produce EXPERIMENTS.md (minutes of runtime)."""
+    return ExperimentConfig(
+        name="paper",
+        kernel_scale="full",
+        repetitions=3,
+        overall_budget=12000,
+        per_driver_budget=2500,
+        bug_budget=8000,
+    )
+
+
+__all__ = ["ExperimentConfig", "quick", "paper"]

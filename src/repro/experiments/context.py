@@ -1,0 +1,117 @@
+"""Shared evaluation context.
+
+Most tables need the same expensive artifacts: the assembled kernel, the
+extractor index, the existing Syzkaller corpus, the missing-spec scan, the
+KernelGPT generation run over the incomplete handlers and the SyzDescribe
+results over the same targets.  :class:`EvaluationContext` builds each of
+them lazily and caches them so that running several experiments in one
+process (the benchmark suite, the CLI runner) does the work once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..baselines import SyzDescribe, build_syzkaller_corpus
+from ..core import GenerationRun, KernelGPT, TargetSelection, select_target_handlers
+from ..extractor import KernelExtractor
+from ..kernel import KernelCodebase, build_default_kernel
+from ..llm import OracleBackend
+from ..syzlang import SpecCorpus
+from .config import ExperimentConfig, quick
+
+
+class EvaluationContext:
+    """Lazily-built shared state for the evaluation."""
+
+    def __init__(self, config: ExperimentConfig | None = None, kernel: KernelCodebase | None = None):
+        self.config = config or quick()
+        self._kernel = kernel
+        self._extractor: KernelExtractor | None = None
+        self._syzkaller: SpecCorpus | None = None
+        self._selection: TargetSelection | None = None
+        self._kernelgpt: KernelGPT | None = None
+        self._generation_run: GenerationRun | None = None
+        self._syzdescribe: SyzDescribe | None = None
+        self._syzdescribe_results: dict | None = None
+
+    # ------------------------------------------------------------ substrates
+    @property
+    def kernel(self) -> KernelCodebase:
+        if self._kernel is None:
+            self._kernel = build_default_kernel(self.config.kernel_scale)
+        return self._kernel
+
+    @property
+    def extractor(self) -> KernelExtractor:
+        if self._extractor is None:
+            self._extractor = KernelExtractor(self.kernel)
+        return self._extractor
+
+    @property
+    def syzkaller_corpus(self) -> SpecCorpus:
+        if self._syzkaller is None:
+            self._syzkaller = build_syzkaller_corpus(self.kernel)
+        return self._syzkaller
+
+    @property
+    def selection(self) -> TargetSelection:
+        """Loaded handlers with missing descriptions (the §5.1 targets)."""
+        if self._selection is None:
+            self._selection = select_target_handlers(self.kernel, self.syzkaller_corpus)
+        return self._selection
+
+    # ------------------------------------------------------------ generators
+    @property
+    def kernelgpt(self) -> KernelGPT:
+        if self._kernelgpt is None:
+            self._kernelgpt = KernelGPT(self.kernel, OracleBackend(), extractor=self.extractor)
+        return self._kernelgpt
+
+    @property
+    def generation_run(self) -> GenerationRun:
+        """KernelGPT specifications for every incomplete handler."""
+        if self._generation_run is None:
+            self._generation_run = self.kernelgpt.generate_for_handlers(list(self.selection.all_handlers))
+        return self._generation_run
+
+    @property
+    def syzdescribe(self) -> SyzDescribe:
+        if self._syzdescribe is None:
+            self._syzdescribe = SyzDescribe(self.kernel, extractor=self.extractor)
+        return self._syzdescribe
+
+    @property
+    def syzdescribe_results(self) -> dict:
+        """SyzDescribe results for the incomplete *driver* handlers."""
+        if self._syzdescribe_results is None:
+            self._syzdescribe_results = self.syzdescribe.analyze_all(list(self.selection.driver_handlers))
+        return self._syzdescribe_results
+
+    # --------------------------------------------------------------- suites
+    def kernelgpt_corpus(self) -> SpecCorpus:
+        """KernelGPT's valid generated specs as a corpus keyed by handler."""
+        corpus = SpecCorpus("kernelgpt")
+        for handler, result in self.generation_run.results.items():
+            if result.valid:
+                corpus.add(handler, result.suite)
+        return corpus
+
+    def syzdescribe_corpus(self) -> SpecCorpus:
+        corpus = SpecCorpus("syzdescribe")
+        for handler, result in self.syzdescribe_results.items():
+            if result.valid and result.suite is not None:
+                corpus.add(handler, result.suite)
+        return corpus
+
+
+@lru_cache(maxsize=2)
+def shared_context(preset: str = "quick") -> EvaluationContext:
+    """Process-wide cached context (used by the benchmark modules)."""
+    from . import config as config_module
+
+    configuration = config_module.paper() if preset == "paper" else config_module.quick()
+    return EvaluationContext(configuration)
+
+
+__all__ = ["EvaluationContext", "shared_context"]

@@ -1,0 +1,54 @@
+"""Plain-text table rendering shared by every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TableResult:
+    """A rendered experiment result: a title, column headers and rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[object]:
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_for(self, key: object) -> list[object] | None:
+        for row in self.rows:
+            if row and row[0] == key:
+                return row
+        return None
+
+    def render(self) -> str:
+        columns = [self.headers] + [[_fmt(value) for value in row] for row in self.rows]
+        widths = [max(len(str(row[i])) for row in columns) for i in range(len(self.headers))]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(str(header).ljust(widths[i]) for i, header in enumerate(self.headers)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(self.headers))))
+        for row in self.rows:
+            lines.append("  ".join(_fmt(value).ljust(widths[i]) for i, value in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+__all__ = ["TableResult"]

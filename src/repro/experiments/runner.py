@@ -1,0 +1,80 @@
+"""Command-line runner that regenerates every table and figure.
+
+``kernelgpt-repro --preset quick`` (installed by the package) runs every
+experiment and prints the rendered tables; ``--experiment table5`` runs a
+single one; ``--output DIR`` additionally writes one text file per result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .ablation_iterative import run_ablation_iterative
+from .ablation_llm import run_ablation_llm
+from .config import paper, quick
+from .context import EvaluationContext
+from .figure7 import run_figure7
+from .reporting import TableResult
+from .table1 import run_correctness_audit, run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .table5 import run_table5
+from .table6 import run_table6
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "figure7": run_figure7,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "ablation_iterative": run_ablation_iterative,
+    "ablation_llm": run_ablation_llm,
+}
+
+
+def run_experiment(name: str, ctx: EvaluationContext) -> TableResult:
+    """Run one named experiment against a shared context."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise SystemExit(f"unknown experiment {name!r}; choose from {', '.join(EXPERIMENTS)}")
+    return runner(ctx)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate the KernelGPT evaluation tables/figures")
+    parser.add_argument("--experiment", "-e", action="append", choices=sorted(EXPERIMENTS) + ["all"],
+                        default=None, help="experiment(s) to run (default: all)")
+    parser.add_argument("--preset", choices=["quick", "paper"], default="quick")
+    parser.add_argument("--output", type=Path, default=None, help="directory to write result text files")
+    args = parser.parse_args(argv)
+
+    config = paper() if args.preset == "paper" else quick()
+    ctx = EvaluationContext(config)
+    wanted = args.experiment or ["all"]
+    names = sorted(EXPERIMENTS) if "all" in wanted else wanted
+
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, ctx)
+        elapsed = time.time() - started
+        text = result.render()
+        print(text)
+        print(f"[{name}] completed in {elapsed:.1f}s\n")
+        if name == "table1":
+            audit = run_correctness_audit(ctx)
+            print("Correctness audit (§5.1.3):", audit.render(), "\n")
+        if args.output is not None:
+            args.output.mkdir(parents=True, exist_ok=True)
+            (args.output / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Table 6 — per-socket comparison against the existing Syzkaller specs."""
+
+from __future__ import annotations
+
+from ..fuzzer import average_coverage, average_crashes, run_repeated_campaigns
+from ..kernel import TABLE6_SOCKET_PROFILES
+from .context import EvaluationContext
+from .reporting import TableResult
+
+
+def run_table6(ctx: EvaluationContext, *, sockets: tuple[str, ...] | None = None) -> TableResult:
+    """Per-socket #syscalls, coverage and crashes (SyzDescribe cannot analyse sockets)."""
+    config = ctx.config
+    names = sockets or tuple(profile.name for profile in TABLE6_SOCKET_PROFILES)
+    table = TableResult(
+        title="Table 6: socket specification generation comparison",
+        headers=["Socket", "Syzkaller #Sys", "Syzkaller Cov", "Syzkaller Crash",
+                 "KernelGPT #Sys", "KernelGPT Cov", "KernelGPT Crash"],
+    )
+    totals = {"syz_sys": 0, "syz_cov": 0.0, "syz_crash": 0.0, "kg_sys": 0, "kg_cov": 0.0, "kg_crash": 0.0}
+
+    for name in names:
+        record = ctx.kernel.record_for_name(name)
+        handler = record.handler_name
+        syz_suite = ctx.syzkaller_corpus.get(handler)
+        kg_result = ctx.kernelgpt.generate_for_handler(handler)
+
+        row = [name]
+        for label, suite in (("syz", syz_suite), ("kg", kg_result.suite if kg_result.valid else None)):
+            if suite is None or len(suite) == 0:
+                row.extend(["Err", "-", "-"])
+                continue
+            campaigns = run_repeated_campaigns(
+                ctx.kernel, suite,
+                repetitions=config.repetitions,
+                budget_programs=config.per_driver_budget,
+                base_seed=config.seed + hash(name) % 1000,
+            )
+            coverage = average_coverage(campaigns)
+            crashes = average_crashes(campaigns)
+            row.extend([len(suite), round(coverage), round(crashes, 1)])
+            totals[f"{label}_sys"] += len(suite)
+            totals[f"{label}_cov"] += coverage
+            totals[f"{label}_crash"] += crashes
+        table.add_row(*row)
+
+    table.add_row("Total", totals["syz_sys"], round(totals["syz_cov"]), round(totals["syz_crash"], 1),
+                  totals["kg_sys"], round(totals["kg_cov"]), round(totals["kg_crash"], 1))
+    table.add_note("paper totals: Syzkaller 166 / 130,027 / 7.0; KernelGPT 304 / 154,187 / 6.0 "
+                   "(KernelGPT covers 18.6% more blocks)")
+    return table
+
+
+__all__ = ["run_table6"]

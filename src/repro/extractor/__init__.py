@@ -1,0 +1,25 @@
+"""Kernel source extraction (the stand-in for the paper's LLVM tooling)."""
+
+from .cparser import (
+    FunctionDecl,
+    InitializerDecl,
+    MacroDef,
+    StructDecl,
+    StructField,
+    TranslationUnit,
+    parse_translation_unit,
+)
+from .extractor import HandlerInfo, KernelExtractor, cached_extractor
+
+__all__ = [
+    "KernelExtractor",
+    "HandlerInfo",
+    "cached_extractor",
+    "TranslationUnit",
+    "parse_translation_unit",
+    "FunctionDecl",
+    "StructDecl",
+    "StructField",
+    "InitializerDecl",
+    "MacroDef",
+]

@@ -1,0 +1,239 @@
+"""The kernel source extractor (the paper's LLVM-based tool, §4).
+
+The extractor parses every file of the synthetic kernel codebase and
+provides the two services KernelGPT's pipeline relies on:
+
+* **operation handler discovery** — pattern-match ``file_operations`` /
+  ``miscdevice`` / ``proto_ops`` initializers to locate driver and socket
+  operation handlers, together with their usage sites (the registration code
+  that reveals the device node or socket family);
+* **definition extraction** (``ExtractCode`` in Algorithm 1) — given an
+  identifier the analysis LLM marked as unknown, return its source text
+  (function, struct, macro or initializer) so it can be added to the next
+  prompt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterable
+
+from ..errors import ExtractionError
+from ..kernel import KernelCodebase
+from ..syzlang import ConstantTable
+from .cparser import (
+    FunctionDecl,
+    InitializerDecl,
+    MacroDef,
+    StructDecl,
+    TranslationUnit,
+    parse_translation_unit,
+)
+
+#: file_operations members that register generic-syscall handlers.
+_IOCTL_FIELDS = ("unlocked_ioctl", "ioctl", "compat_ioctl")
+
+#: proto_ops members the extractor records for socket handlers.
+_SOCKET_SYSCALL_FIELDS = (
+    "bind", "connect", "accept", "sendmsg", "recvmsg", "sendto", "recvfrom",
+    "setsockopt", "getsockopt", "poll",
+)
+
+
+@dataclass(frozen=True)
+class HandlerInfo:
+    """One discovered operation handler and its registration context."""
+
+    handler_name: str
+    kind: str                      # "driver" or "socket"
+    file: str
+    ioctl_fn: str | None = None
+    syscall_fns: tuple[tuple[str, str], ...] = ()   # (syscall/member, function)
+    usage_snippets: tuple[str, ...] = ()            # registration code referencing the handler
+    initializer_text: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}:{self.handler_name}"
+
+
+class KernelExtractor:
+    """Parses the synthetic kernel and answers extraction queries."""
+
+    def __init__(self, codebase: KernelCodebase):
+        self._codebase = codebase
+        self._units: dict[str, TranslationUnit] = {}
+        self._by_identifier: dict[str, tuple[str, object]] = {}
+        self._handlers: dict[str, HandlerInfo] = {}
+        self._index()
+
+    # ------------------------------------------------------------- indexing
+    def _index(self) -> None:
+        for path, text in self._codebase.source_files().items():
+            unit = parse_translation_unit(path, text)
+            self._units[path] = unit
+            for table in (unit.functions, unit.structs, unit.initializers, unit.macros):
+                for name, decl in table.items():
+                    # First definition wins; the synthetic kernel has no
+                    # cross-file duplicate identifiers by construction.
+                    self._by_identifier.setdefault(name, (path, decl))
+        for path, unit in self._units.items():
+            self._discover_handlers(path, unit)
+
+    def _discover_handlers(self, path: str, unit: TranslationUnit) -> None:
+        for name, init in unit.initializers.items():
+            if init.struct_type == "file_operations":
+                ioctl_fn = None
+                for field_name in _IOCTL_FIELDS:
+                    value = init.field_value(field_name)
+                    if value:
+                        ioctl_fn = value.strip()
+                        break
+                usages = self._usage_snippets(unit, name)
+                self._handlers[name] = HandlerInfo(
+                    handler_name=name,
+                    kind="driver",
+                    file=path,
+                    ioctl_fn=ioctl_fn,
+                    syscall_fns=tuple(
+                        (field_name, value)
+                        for field_name, value in init.fields
+                        if field_name in ("open", "read", "write", "poll", "mmap") and value
+                    ),
+                    usage_snippets=usages,
+                    initializer_text=init.text,
+                )
+            elif init.struct_type == "proto_ops":
+                fns = tuple(
+                    (field_name, value)
+                    for field_name, value in init.fields
+                    if field_name in _SOCKET_SYSCALL_FIELDS and value
+                )
+                usages = self._usage_snippets(unit, name)
+                self._handlers[name] = HandlerInfo(
+                    handler_name=name,
+                    kind="socket",
+                    file=path,
+                    ioctl_fn=init.field_value("ioctl"),
+                    syscall_fns=fns,
+                    usage_snippets=usages,
+                    initializer_text=init.text,
+                )
+
+    def _usage_snippets(self, unit: TranslationUnit, handler_name: str) -> tuple[str, ...]:
+        """Collect registration code that references the handler variable."""
+        snippets: list[str] = []
+        needle = handler_name
+        for init in unit.initializers.values():
+            if init.var_name == handler_name:
+                continue
+            if any(needle in value for _, value in init.fields):
+                snippets.append(init.text)
+        for function in unit.functions.values():
+            if needle in function.body and (
+                "register" in function.name
+                or "init" in function.name
+                or "create" in function.name
+            ):
+                snippets.append(function.text)
+        return tuple(snippets)
+
+    # -------------------------------------------------------------- queries
+    def handlers(self, kind: str | None = None) -> list[HandlerInfo]:
+        """Every discovered operation handler (optionally filtered by kind)."""
+        infos = list(self._handlers.values())
+        if kind is not None:
+            infos = [info for info in infos if info.kind == kind]
+        return sorted(infos, key=lambda info: info.handler_name)
+
+    def handler(self, handler_name: str) -> HandlerInfo:
+        try:
+            return self._handlers[handler_name]
+        except KeyError:
+            raise ExtractionError(f"no operation handler named {handler_name!r}") from None
+
+    def has_definition(self, identifier: str) -> bool:
+        return identifier in self._by_identifier
+
+    def extract_code(self, identifier: str) -> str:
+        """Return the source text for ``identifier`` (Algorithm 1's ExtractCode)."""
+        entry = self._by_identifier.get(identifier)
+        if entry is None:
+            raise ExtractionError(f"no definition found for identifier {identifier!r}")
+        _, decl = entry
+        return decl.text
+
+    def definition_kind(self, identifier: str) -> str:
+        entry = self._by_identifier.get(identifier)
+        if entry is None:
+            raise ExtractionError(f"no definition found for identifier {identifier!r}")
+        _, decl = entry
+        if isinstance(decl, FunctionDecl):
+            return "function"
+        if isinstance(decl, StructDecl):
+            return "struct"
+        if isinstance(decl, InitializerDecl):
+            return "initializer"
+        if isinstance(decl, MacroDef):
+            return "macro"
+        return "unknown"
+
+    def function(self, name: str) -> FunctionDecl:
+        entry = self._by_identifier.get(name)
+        if entry is None or not isinstance(entry[1], FunctionDecl):
+            raise ExtractionError(f"no function named {name!r}")
+        return entry[1]
+
+    def struct(self, name: str) -> StructDecl:
+        entry = self._by_identifier.get(name)
+        if entry is None or not isinstance(entry[1], StructDecl):
+            raise ExtractionError(f"no struct named {name!r}")
+        return entry[1]
+
+    def initializer(self, name: str) -> InitializerDecl:
+        entry = self._by_identifier.get(name)
+        if entry is None or not isinstance(entry[1], InitializerDecl):
+            raise ExtractionError(f"no initializer named {name!r}")
+        return entry[1]
+
+    def macro(self, name: str) -> MacroDef:
+        entry = self._by_identifier.get(name)
+        if entry is None or not isinstance(entry[1], MacroDef):
+            raise ExtractionError(f"no macro named {name!r}")
+        return entry[1]
+
+    def translation_unit(self, path: str) -> TranslationUnit:
+        try:
+            return self._units[path]
+        except KeyError:
+            raise ExtractionError(f"no source file at {path!r}") from None
+
+    def constants(self) -> ConstantTable:
+        """Macro table recovered from ``#define`` lines across the whole tree."""
+        table = ConstantTable()
+        for unit in self._units.values():
+            for macro in unit.macros.values():
+                if macro.int_value is not None:
+                    table.define(macro.name, macro.int_value, allow_redefine=True)
+        return table
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "files": len(self._units),
+            "handlers": len(self._handlers),
+            "driver_handlers": sum(1 for info in self._handlers.values() if info.kind == "driver"),
+            "socket_handlers": sum(1 for info in self._handlers.values() if info.kind == "socket"),
+            "functions": sum(len(unit.functions) for unit in self._units.values()),
+            "structs": sum(len(unit.structs) for unit in self._units.values()),
+            "macros": sum(len(unit.macros) for unit in self._units.values()),
+        }
+
+
+@lru_cache(maxsize=4)
+def cached_extractor(codebase: KernelCodebase) -> KernelExtractor:
+    """Memoised extractor construction (indexing a full kernel is not free)."""
+    return KernelExtractor(codebase)
+
+
+__all__ = ["HandlerInfo", "KernelExtractor", "cached_extractor"]

@@ -1,0 +1,39 @@
+"""Crash reports and deduplication."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CrashReport:
+    """A single crash observation (before deduplication)."""
+
+    bug_id: str
+    title: str
+    crash_type: str
+    subsystem: str
+
+
+@dataclass
+class CrashLog:
+    """Deduplicating accumulator of crash observations for a campaign."""
+
+    observations: dict[str, int] = field(default_factory=dict)
+    reports: dict[str, CrashReport] = field(default_factory=dict)
+
+    def record(self, report: CrashReport) -> None:
+        self.observations[report.bug_id] = self.observations.get(report.bug_id, 0) + 1
+        self.reports.setdefault(report.bug_id, report)
+
+    def unique_crashes(self) -> int:
+        return len(self.reports)
+
+    def bug_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self.reports))
+
+    def titles(self) -> tuple[str, ...]:
+        return tuple(self.reports[bug_id].title for bug_id in sorted(self.reports))
+
+
+__all__ = ["CrashReport", "CrashLog"]

@@ -1,0 +1,304 @@
+"""The simulated kernel executor.
+
+Programs are interpreted against the synthetic kernel's ground truth: opening
+the right device node yields a file descriptor bound to that driver, a
+dispatchable command value reaches its per-command handler, semantically valid
+arguments pass the handler's guards and cover its deeper basic blocks, and the
+injected bug predicates fire only when the triggering field values are
+reachable — i.e. when the specification that generated the program knew the
+command value and the argument layout.
+
+Coverage is reported as a set of basic-block identifiers (strings), so suites
+can be compared by set union/difference exactly like the paper's unique-block
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kernel import (
+    ArgKind,
+    BugTrigger,
+    DispatchStyle,
+    DriverTruth,
+    Guard,
+    GuardKind,
+    IoctlOp,
+    KernelCodebase,
+    SecondaryHandlerTruth,
+    SockOp,
+    SocketTruth,
+    ioc_nr,
+)
+from .crash import CrashReport
+from .program import BytesValue, Program, ResourceValue, StructValue
+
+
+@dataclass
+class ExecutionResult:
+    """Coverage and crashes produced by one program execution."""
+
+    coverage: set[str] = field(default_factory=set)
+    crashes: list[CrashReport] = field(default_factory=list)
+    executed_calls: int = 0
+
+
+@dataclass
+class _FdBinding:
+    """What a program-level file descriptor refers to."""
+
+    kind: str                                  # "driver" | "secondary" | "socket"
+    driver: DriverTruth | None = None
+    secondary: SecondaryHandlerTruth | None = None
+    socket: SocketTruth | None = None
+
+
+class KernelExecutor:
+    """Interprets syscall programs against the synthetic kernel."""
+
+    def __init__(self, kernel: KernelCodebase):
+        self.kernel = kernel
+
+    # ------------------------------------------------------------------ API
+    def execute(self, program: Program) -> ExecutionResult:
+        result = ExecutionResult()
+        bindings: dict[int, _FdBinding] = {}
+        produced_resources: set[str] = set()
+
+        for index, call in enumerate(program):
+            result.executed_calls += 1
+            if call.syscall in ("openat", "open"):
+                self._exec_open(call, index, bindings, result)
+            elif call.syscall == "socket":
+                self._exec_socket(call, index, bindings, result)
+            elif call.syscall == "ioctl":
+                self._exec_ioctl(call, index, bindings, produced_resources, result)
+            else:
+                self._exec_sockcall(call, bindings, result)
+        return result
+
+    # ------------------------------------------------------------- syscalls
+    def _exec_open(self, call, index: int, bindings, result: ExecutionResult) -> None:
+        path = call.arg("file")
+        if not isinstance(path, str):
+            return
+        driver = self.kernel.resolve_device(path)
+        if driver is None:
+            return
+        for block in range(driver.open_blocks):
+            result.coverage.add(f"{driver.name}:open:{block}")
+        bindings[index] = _FdBinding(kind="driver", driver=driver)
+
+    def _exec_socket(self, call, index: int, bindings, result: ExecutionResult) -> None:
+        family = call.arg("domain")
+        sock_type = call.arg("type")
+        protocol = call.arg("proto")
+        if not all(isinstance(value, int) for value in (family, sock_type, protocol)):
+            return
+        socket = self.kernel.resolve_socket(family, sock_type, protocol)
+        if socket is None:
+            return
+        for block in range(socket.create_blocks):
+            result.coverage.add(f"{socket.name}:create:{block}")
+        bindings[index] = _FdBinding(kind="socket", socket=socket)
+
+    def _exec_ioctl(self, call, index: int, bindings, produced_resources: set[str], result: ExecutionResult) -> None:
+        binding = self._resolve_fd(call.arg("fd"), bindings)
+        if binding is None or binding.kind == "socket":
+            return
+        cmd = call.arg("cmd")
+        if not isinstance(cmd, int):
+            return
+        if binding.kind == "driver":
+            driver = binding.driver
+            assert driver is not None
+            owner = driver.name
+            ops = driver.ops
+            rewrite = driver.dispatch in (DispatchStyle.IOC_NR_REWRITE, DispatchStyle.TABLE_LOOKUP)
+            entry_blocks = driver.ioctl_entry_blocks
+        else:
+            secondary = binding.secondary
+            assert secondary is not None
+            owner = secondary.name
+            ops = secondary.ops
+            rewrite = False
+            entry_blocks = secondary.ioctl_entry_blocks
+        for block in range(entry_blocks):
+            result.coverage.add(f"{owner}:ioctl-entry:{block}")
+
+        op = self._match_ioctl(ops, cmd, rewrite)
+        if op is None:
+            result.coverage.add(f"{owner}:ioctl-entry:default")
+            return
+        self._cover_op(owner, op.macro, op.base_blocks, op.guards, op.bug, call.arg("arg"),
+                       op.arg_struct, produced_resources, result, requires=op.requires)
+        if op.produces:
+            produced_resources.add(op.produces)
+            secondary = self._secondary_for(binding, op.produces)
+            if secondary is not None:
+                bindings[index] = _FdBinding(kind="secondary", driver=binding.driver, secondary=secondary)
+
+    def _exec_sockcall(self, call, bindings, result: ExecutionResult) -> None:
+        binding = self._resolve_fd(call.arg("fd"), bindings)
+        if binding is None or binding.kind != "socket":
+            return
+        socket = binding.socket
+        assert socket is not None
+        result.coverage.add(f"{socket.name}:{call.syscall}:entry")
+
+        if call.syscall in ("setsockopt", "getsockopt"):
+            optname = call.arg("optname")
+            if not isinstance(optname, int):
+                return
+            op = next(
+                (candidate for candidate in socket.ops
+                 if candidate.syscall == call.syscall and candidate.value == optname),
+                None,
+            )
+            payload = call.arg("optval")
+        else:
+            op = next((candidate for candidate in socket.ops if candidate.syscall == call.syscall), None)
+            payload = call.arg("buf") or call.arg("addr")
+        if op is None:
+            return
+        self._cover_op(socket.name, op.interface_name, op.base_blocks, op.guards, op.bug,
+                       payload, op.arg_struct, set(), result)
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _resolve_fd(value, bindings) -> _FdBinding | None:
+        if isinstance(value, ResourceValue):
+            return bindings.get(value.producer_index)
+        return None
+
+    @staticmethod
+    def _match_ioctl(ops: tuple[IoctlOp, ...], cmd: int, rewrite: bool) -> IoctlOp | None:
+        for op in ops:
+            if rewrite:
+                # The dispatcher first checks the _IOC_TYPE "magic" byte, then
+                # switches on _IOC_NR: a raw command number fails the magic check.
+                if ((cmd >> 8) & 0xFF) != ((op.value >> 8) & 0xFF):
+                    continue
+                if op.nr_value is not None and ioc_nr(cmd) == op.nr_value:
+                    return op
+            elif cmd == op.value:
+                return op
+        return None
+
+    def _secondary_for(self, binding: _FdBinding, resource: str) -> SecondaryHandlerTruth | None:
+        driver = binding.driver
+        if driver is None:
+            return None
+        for secondary in driver.secondary_handlers:
+            if secondary.resource == resource:
+                return secondary
+        return None
+
+    def _cover_op(
+        self,
+        owner: str,
+        op_label: str,
+        base_blocks: int,
+        guards: tuple[Guard, ...],
+        bug: BugTrigger | None,
+        payload,
+        arg_struct: str | None,
+        produced_resources: set[str],
+        result: ExecutionResult,
+        *,
+        requires: str | None = None,
+    ) -> None:
+        if requires and requires not in produced_resources:
+            result.coverage.add(f"{owner}:{op_label}:requires-missing")
+            return
+        for block in range(base_blocks):
+            result.coverage.add(f"{owner}:{op_label}:base:{block}")
+
+        typed = isinstance(payload, StructValue)
+        payload_size = 0
+        if isinstance(payload, StructValue):
+            payload_size = payload.byte_size or 4096
+        elif isinstance(payload, BytesValue):
+            payload_size = payload.length
+
+        truth_size = self._truth_struct_size(owner, arg_struct)
+        if arg_struct is not None and payload_size >= truth_size:
+            result.coverage.add(f"{owner}:{op_label}:copy-in")
+
+        for guard_index, guard in enumerate(guards):
+            if self._guard_passes(guard, payload, typed, produced_resources):
+                for bonus in range(guard.bonus_blocks):
+                    result.coverage.add(f"{owner}:{op_label}:guard{guard_index}:{bonus}")
+
+        if bug is not None and self._bug_fires(bug, payload, typed, produced_resources):
+            catalog = self.kernel.bug_catalog
+            if bug.bug_id in catalog:
+                known = catalog.get(bug.bug_id)
+                result.crashes.append(
+                    CrashReport(bug_id=known.bug_id, title=known.title,
+                                crash_type=known.crash_type, subsystem=known.subsystem)
+                )
+            else:
+                result.crashes.append(
+                    CrashReport(bug_id=bug.bug_id, title=bug.bug_id, crash_type="unknown", subsystem=owner)
+                )
+
+    def _truth_struct_size(self, owner: str, arg_struct: str | None) -> int:
+        if arg_struct is None:
+            return 0
+        truth = self.kernel.drivers.get(owner) or self.kernel.sockets.get(owner)
+        if truth is None:
+            # Secondary handlers: search the owning driver's structs.
+            for driver in self.kernel.drivers.values():
+                for secondary in driver.secondary_handlers:
+                    if secondary.name == owner:
+                        truth = driver
+                        break
+        if truth is None:
+            return 8
+        struct = truth.struct_by_name(arg_struct)
+        return struct.byte_size() if struct is not None else 8
+
+    @staticmethod
+    def _guard_passes(guard: Guard, payload, typed: bool, produced_resources: set[str]) -> bool:
+        if guard.kind is GuardKind.NEEDS_RESOURCE:
+            return guard.resource in produced_resources
+        if guard.kind is GuardKind.MIN_SIZE:
+            if isinstance(payload, StructValue):
+                return payload.byte_size >= guard.value
+            if isinstance(payload, BytesValue):
+                return payload.length >= guard.value
+            return False
+        if not typed or not isinstance(payload, StructValue):
+            return False
+        value = payload.get(guard.field)
+        if guard.kind is GuardKind.FIELD_RANGE:
+            return guard.low <= value <= guard.high
+        if guard.kind is GuardKind.FIELD_EQUALS:
+            return value == guard.value
+        if guard.kind is GuardKind.FLAGS_SUBSET:
+            return (value & ~guard.value) == 0
+        if guard.kind is GuardKind.LEN_MATCHES:
+            return payload.get(f"__lenok_{guard.field}", 0) == 1
+        return False
+
+    @staticmethod
+    def _bug_fires(bug: BugTrigger, payload, typed: bool, produced_resources: set[str]) -> bool:
+        if bug.requires_resource and bug.requires_resource not in produced_resources:
+            return False
+        if bug.requires_typed and not typed:
+            return False
+        if not isinstance(payload, StructValue):
+            return False
+        value = payload.get(bug.field)
+        if bug.equals is not None:
+            return value == bug.equals
+        if bug.min_value is not None and value < bug.min_value:
+            return False
+        if bug.max_value is not None and value > bug.max_value:
+            return False
+        return True
+
+
+__all__ = ["KernelExecutor", "ExecutionResult"]

@@ -1,0 +1,96 @@
+"""The synthetic Linux-like kernel substrate.
+
+This package replaces the real Linux 6.7 source tree the paper analyses: it
+provides a deterministic, ground-truth-known population of driver and socket
+operation handlers rendered as C source text, the constant (macro) table, the
+kernel configurations, and the injected bug catalog of Table 4.
+"""
+
+from .bugs import DEFAULT_BUG_CATALOG, BugCatalog, KernelBug, TABLE4_BUGS
+from .codebase import HandlerRecord, KernelCodebase, build_default_kernel, cached_default_kernel
+from .configs import KernelConfig, allyesconfig, syzbot_config
+from .factory import BugSite, DriverProfile, SecondaryProfile, SocketProfile, make_driver, make_socket
+from .ops import (
+    ArgKind,
+    BugTrigger,
+    DispatchStyle,
+    DriverTruth,
+    FieldTruth,
+    Guard,
+    GuardKind,
+    IoctlOp,
+    RegistrationStyle,
+    SecondaryHandlerTruth,
+    SockOp,
+    SocketTruth,
+    StructTruth,
+    ioc,
+    ioc_nr,
+)
+from .builder import (
+    build_driver_source,
+    build_socket_source,
+    driver_constants,
+    reference_suite_for_driver,
+    reference_suite_for_socket,
+    socket_constants,
+)
+from .table5_drivers import PAPER_TABLE5, SYZKALLER_DESCRIBED, TABLE5_DRIVER_NAMES, TABLE5_DRIVER_PROFILES
+from .table6_sockets import (
+    PAPER_TABLE6,
+    SOCKET_SCAN_TARGETS,
+    SYZKALLER_SOCKET_DESCRIBED,
+    TABLE6_SOCKET_PROFILES,
+)
+from .extra_drivers import BUG_DRIVER_PROFILES, SCAN_TARGETS
+
+__all__ = [
+    "KernelCodebase",
+    "HandlerRecord",
+    "build_default_kernel",
+    "cached_default_kernel",
+    "KernelConfig",
+    "allyesconfig",
+    "syzbot_config",
+    "KernelBug",
+    "BugCatalog",
+    "DEFAULT_BUG_CATALOG",
+    "TABLE4_BUGS",
+    "DriverProfile",
+    "SocketProfile",
+    "SecondaryProfile",
+    "BugSite",
+    "make_driver",
+    "make_socket",
+    "DriverTruth",
+    "SocketTruth",
+    "SecondaryHandlerTruth",
+    "IoctlOp",
+    "SockOp",
+    "StructTruth",
+    "FieldTruth",
+    "Guard",
+    "GuardKind",
+    "BugTrigger",
+    "ArgKind",
+    "DispatchStyle",
+    "RegistrationStyle",
+    "ioc",
+    "ioc_nr",
+    "build_driver_source",
+    "build_socket_source",
+    "driver_constants",
+    "socket_constants",
+    "reference_suite_for_driver",
+    "reference_suite_for_socket",
+    "TABLE5_DRIVER_PROFILES",
+    "TABLE5_DRIVER_NAMES",
+    "SYZKALLER_DESCRIBED",
+    "PAPER_TABLE5",
+    "TABLE6_SOCKET_PROFILES",
+    "SYZKALLER_SOCKET_DESCRIBED",
+    "PAPER_TABLE6",
+    "SCAN_TARGETS",
+    "SOCKET_SCAN_TARGETS",
+    "BUG_DRIVER_PROFILES",
+]

@@ -1,0 +1,319 @@
+"""The synthetic kernel codebase: source tree, constants, ground truth.
+
+:class:`KernelCodebase` is the object every other subsystem works against:
+
+* the **extractor** reads its rendered C source files;
+* **KernelGPT** and **SyzDescribe** analyse those files (through the
+  extractor) and are audited against its reference specifications;
+* the **fuzzer's executor** interprets syscall programs against its ground
+  truth (device registry, command values, guards, bug triggers);
+* the **experiment harness** scans it to compute Table 1 / Figure 7.
+
+``build_default_kernel()`` assembles the standard kernel used throughout the
+evaluation: the Table 5 drivers, the Table 4 bug drivers, the Table 6 sockets
+and a deterministic filler population that brings the handler counts to the
+paper's scan scale.  ``scale="small"`` builds a reduced kernel for fast unit
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Mapping
+
+from ..errors import KernelModelError
+from ..syzlang import ConstantTable, SpecSuite
+from .builder import (
+    build_driver_source,
+    build_socket_source,
+    driver_constants,
+    reference_suite_for_driver,
+    reference_suite_for_socket,
+    socket_constants,
+)
+from .bugs import DEFAULT_BUG_CATALOG, BugCatalog
+from .configs import KernelConfig, allyesconfig, syzbot_config
+from .extra_drivers import BUG_DRIVER_PROFILES, driver_population
+from .factory import DriverProfile, SocketProfile, make_driver, make_socket
+from .ops import DriverTruth, SocketTruth
+from .source import CSourceFile
+from .table5_drivers import SYZKALLER_DESCRIBED, TABLE5_DRIVER_PROFILES
+from .table6_sockets import TABLE6_SOCKET_PROFILES, socket_population
+
+
+@dataclass(frozen=True)
+class HandlerRecord:
+    """One operation handler known to the codebase."""
+
+    name: str            # human label (driver or socket name)
+    handler_name: str    # the fops / proto_ops variable name
+    kind: str            # "driver" or "socket"
+    truth: DriverTruth | SocketTruth
+    existing_described: int | None  # ops described by the existing Syzkaller corpus
+
+    @property
+    def loaded_attrs(self) -> dict:
+        truth = self.truth
+        if isinstance(truth, DriverTruth):
+            return {
+                "config_option": truth.config_option,
+                "hardware_gated": truth.hardware_gated,
+                "debug_only": truth.debug_only,
+            }
+        return {
+            "config_option": truth.config_option,
+            "hardware_gated": truth.hardware_gated,
+            "debug_only": False,
+        }
+
+
+class KernelCodebase:
+    """A fully-assembled synthetic kernel."""
+
+    def __init__(
+        self,
+        *,
+        drivers: Iterable[tuple[DriverTruth, int | None]],
+        sockets: Iterable[tuple[SocketTruth, int | None]],
+        bug_catalog: BugCatalog | None = None,
+        version: str = "6.7.0-synthetic",
+    ):
+        self.version = version
+        self.bug_catalog = bug_catalog or DEFAULT_BUG_CATALOG
+        self._drivers: dict[str, DriverTruth] = {}
+        self._sockets: dict[str, SocketTruth] = {}
+        self._records: dict[str, HandlerRecord] = {}
+        self._constants = ConstantTable()
+        self._device_registry: dict[str, DriverTruth] = {}
+        self._family_registry: dict[tuple[int, int, int], SocketTruth] = {}
+
+        for truth, described in drivers:
+            self._add_driver(truth, described)
+        for truth, described in sockets:
+            self._add_socket(truth, described)
+
+    # ------------------------------------------------------------ assembly
+    def _add_driver(self, truth: DriverTruth, described: int | None) -> None:
+        if truth.name in self._drivers:
+            raise KernelModelError(f"duplicate driver {truth.name!r}")
+        if truth.handler_name in self._records:
+            raise KernelModelError(f"duplicate handler name {truth.handler_name!r}")
+        self._drivers[truth.name] = truth
+        self._records[truth.handler_name] = HandlerRecord(
+            name=truth.name, handler_name=truth.handler_name, kind="driver",
+            truth=truth, existing_described=described,
+        )
+        self._constants.update(ConstantTable(driver_constants(truth)))
+        self._device_registry[truth.device_path] = truth
+
+    def _add_socket(self, truth: SocketTruth, described: int | None) -> None:
+        if truth.name in self._sockets:
+            raise KernelModelError(f"duplicate socket {truth.name!r}")
+        if truth.handler_name in self._records:
+            raise KernelModelError(f"duplicate handler name {truth.handler_name!r}")
+        self._sockets[truth.name] = truth
+        self._records[truth.handler_name] = HandlerRecord(
+            name=truth.name, handler_name=truth.handler_name, kind="socket",
+            truth=truth, existing_described=described,
+        )
+        self._constants.update(ConstantTable(socket_constants(truth)))
+        self._family_registry[(truth.family_value, truth.sock_type, truth.protocol)] = truth
+
+    # ------------------------------------------------------------- lookups
+    @property
+    def drivers(self) -> Mapping[str, DriverTruth]:
+        return dict(self._drivers)
+
+    @property
+    def sockets(self) -> Mapping[str, SocketTruth]:
+        return dict(self._sockets)
+
+    @property
+    def constants(self) -> ConstantTable:
+        return self._constants
+
+    def handler_records(self, kind: str | None = None) -> list[HandlerRecord]:
+        records = list(self._records.values())
+        if kind is not None:
+            records = [record for record in records if record.kind == kind]
+        return records
+
+    def record_for_handler(self, handler_name: str) -> HandlerRecord:
+        try:
+            return self._records[handler_name]
+        except KeyError:
+            raise KernelModelError(f"unknown operation handler {handler_name!r}") from None
+
+    def record_for_name(self, name: str) -> HandlerRecord:
+        for record in self._records.values():
+            if record.name == name:
+                return record
+        raise KernelModelError(f"no driver or socket named {name!r}")
+
+    def driver(self, name: str) -> DriverTruth:
+        try:
+            return self._drivers[name]
+        except KeyError:
+            raise KernelModelError(f"unknown driver {name!r}") from None
+
+    def socket(self, name: str) -> SocketTruth:
+        try:
+            return self._sockets[name]
+        except KeyError:
+            raise KernelModelError(f"unknown socket {name!r}") from None
+
+    def resolve_device(self, path: str) -> DriverTruth | None:
+        """Resolve an opened device path against the device registry.
+
+        Numbered device nodes (``/dev/loop#``) match any trailing digit
+        (``/dev/loop0``).
+        """
+        if path in self._device_registry:
+            return self._device_registry[path]
+        for registered, truth in self._device_registry.items():
+            if "#" in registered:
+                prefix = registered.split("#", 1)[0]
+                if path.startswith(prefix) and path[len(prefix):].isdigit():
+                    return truth
+        return None
+
+    def resolve_socket(self, family: int, sock_type: int, protocol: int) -> SocketTruth | None:
+        exact = self._family_registry.get((family, sock_type, protocol))
+        if exact is not None:
+            return exact
+        for (fam, typ, proto), truth in self._family_registry.items():
+            if fam == family and typ == sock_type and protocol == 0:
+                return truth
+        return None
+
+    # ------------------------------------------------------------- configs
+    def scan_config(self) -> KernelConfig:
+        return allyesconfig()
+
+    def fuzz_config(self) -> KernelConfig:
+        """The syzbot-like configuration: every non-gated handler's option on."""
+        options = []
+        for record in self._records.values():
+            attrs = record.loaded_attrs
+            if not attrs["hardware_gated"] and not attrs["debug_only"]:
+                options.append(attrs["config_option"])
+        return syzbot_config(options)
+
+    def loaded_records(self, config: KernelConfig | None = None, kind: str | None = None) -> list[HandlerRecord]:
+        config = config or self.fuzz_config()
+        loaded = []
+        for record in self.handler_records(kind):
+            if config.loads(**record.loaded_attrs):
+                loaded.append(record)
+        return loaded
+
+    # ---------------------------------------------------------------- source
+    @lru_cache(maxsize=None)
+    def source_file_for(self, handler_name: str) -> CSourceFile:
+        """Render (and cache) the C source file defining the given handler."""
+        record = self.record_for_handler(handler_name)
+        if record.kind == "driver":
+            return build_driver_source(record.truth)  # type: ignore[arg-type]
+        return build_socket_source(record.truth)  # type: ignore[arg-type]
+
+    def source_text_for(self, handler_name: str) -> str:
+        return self.source_file_for(handler_name).render()
+
+    def source_files(self) -> dict[str, str]:
+        """Render the whole tree: path → file text (used by the extractor)."""
+        files: dict[str, str] = {}
+        for record in self._records.values():
+            source = self.source_file_for(record.handler_name)
+            files[source.path] = source.render()
+        return files
+
+    # ------------------------------------------------------------ reference
+    @lru_cache(maxsize=None)
+    def reference_suite(self, name: str) -> SpecSuite:
+        """The ground-truth specification for a driver or socket by name."""
+        if name in self._drivers:
+            return reference_suite_for_driver(self._drivers[name])
+        if name in self._sockets:
+            return reference_suite_for_socket(self._sockets[name])
+        raise KernelModelError(f"no driver or socket named {name!r}")
+
+    def ground_truth_interfaces(self, config: KernelConfig | None = None) -> dict[str, tuple[str, tuple[str, ...]]]:
+        """Handler → (kind, implemented interface names) for loaded handlers."""
+        interfaces: dict[str, tuple[str, tuple[str, ...]]] = {}
+        for record in self.loaded_records(config):
+            interfaces[record.handler_name] = (record.kind, record.truth.interface_names())
+        return interfaces
+
+    # ------------------------------------------------------------------ misc
+    def stats(self) -> dict[str, int]:
+        loaded = self.loaded_records()
+        return {
+            "drivers": len(self._drivers),
+            "sockets": len(self._sockets),
+            "handlers": len(self._records),
+            "loaded_drivers": sum(1 for record in loaded if record.kind == "driver"),
+            "loaded_sockets": sum(1 for record in loaded if record.kind == "socket"),
+            "constants": len(self._constants),
+            "bugs": len(self.bug_catalog),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Default kernels
+# ---------------------------------------------------------------------------
+
+
+def _expand_driver(profile: DriverProfile, described: int | None) -> tuple[DriverTruth, int | None]:
+    return make_driver(profile), described
+
+
+def _expand_socket(profile: SocketProfile, described: int | None) -> tuple[SocketTruth, int | None]:
+    return make_socket(profile), described
+
+
+def build_default_kernel(scale: str = "full") -> KernelCodebase:
+    """Assemble the synthetic kernel used by the evaluation.
+
+    ``scale="full"`` builds the complete scan-scale population (666 driver and
+    85 socket handlers); ``scale="small"`` builds only the Table 5 / Table 4 /
+    Table 6 handlers plus a handful of fillers, which is fast enough for unit
+    tests while exercising every code pattern.
+    """
+    if scale not in ("full", "small"):
+        raise ValueError("scale must be 'full' or 'small'")
+
+    drivers: list[tuple[DriverTruth, int | None]] = []
+    sockets: list[tuple[SocketTruth, int | None]] = []
+
+    for profile in TABLE5_DRIVER_PROFILES:
+        drivers.append(_expand_driver(profile, SYZKALLER_DESCRIBED.get(profile.name)))
+
+    if scale == "full":
+        for profile, described in driver_population():
+            drivers.append(_expand_driver(profile, described))
+        for profile, described in socket_population():
+            sockets.append(_expand_socket(profile, described))
+    else:
+        for profile in BUG_DRIVER_PROFILES:
+            drivers.append(_expand_driver(profile, 0))
+        from .table6_sockets import SYZKALLER_SOCKET_DESCRIBED
+
+        for profile in TABLE6_SOCKET_PROFILES:
+            sockets.append(_expand_socket(profile, SYZKALLER_SOCKET_DESCRIBED[profile.name]))
+
+    return KernelCodebase(drivers=drivers, sockets=sockets)
+
+
+@lru_cache(maxsize=2)
+def cached_default_kernel(scale: str = "full") -> KernelCodebase:
+    """Memoised :func:`build_default_kernel` for tests and benchmarks."""
+    return build_default_kernel(scale)
+
+
+__all__ = [
+    "HandlerRecord",
+    "KernelCodebase",
+    "build_default_kernel",
+    "cached_default_kernel",
+]

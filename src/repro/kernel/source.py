@@ -1,0 +1,183 @@
+"""Primitive C source constructs of the synthetic kernel codebase.
+
+The synthetic kernel is stored as *text* — real-looking C source files — so
+that the extractor genuinely has to parse it and the LLM backends genuinely
+receive code in their prompts.  This module provides the structured building
+blocks a source file is assembled from (macro defines, struct definitions,
+functions, struct-variable initializers) and renders them with a consistent
+formatting style, which is what makes the downstream parsing tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class CDefine:
+    """A ``#define NAME value`` line; ``value`` may be an int or raw C text."""
+
+    name: str
+    value: int | str
+    comment: str = ""
+
+    def render(self) -> str:
+        if isinstance(self.value, int):
+            text = f"#define {self.name} {hex(self.value) if self.value > 9 else self.value}"
+        else:
+            text = f"#define {self.name} {self.value}"
+        if self.comment:
+            text += f" /* {self.comment} */"
+        return text
+
+
+@dataclass(frozen=True)
+class CStructField:
+    """One member of a C struct definition."""
+
+    c_type: str
+    name: str
+    array: str = ""
+    comment: str = ""
+
+    def render(self) -> str:
+        suffix = f"[{self.array}]" if self.array != "" else ""
+        text = f"\t{self.c_type} {self.name}{suffix};"
+        if self.comment:
+            text += f"\t/* {self.comment} */"
+        return text
+
+
+@dataclass(frozen=True)
+class CStruct:
+    """A C struct definition."""
+
+    name: str
+    fields: tuple[CStructField, ...]
+    comment: str = ""
+
+    def render(self) -> str:
+        lines = []
+        if self.comment:
+            lines.append(f"/* {self.comment} */")
+        lines.append(f"struct {self.name} {{")
+        lines.extend(member.render() for member in self.fields)
+        lines.append("};")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CFunction:
+    """A C function with its full (synthetic) body."""
+
+    name: str
+    return_type: str
+    params: str
+    body: str
+    static: bool = True
+    comment: str = ""
+
+    def render(self) -> str:
+        lines = []
+        if self.comment:
+            lines.append(f"/* {self.comment} */")
+        qualifier = "static " if self.static else ""
+        lines.append(f"{qualifier}{self.return_type} {self.name}({self.params})")
+        lines.append("{")
+        lines.append(self.body.rstrip("\n"))
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CInitializer:
+    """A designated-initializer global, e.g. a ``file_operations`` instance.
+
+    ``struct_type`` is the struct tag (``file_operations``, ``miscdevice``,
+    ``proto_ops``); ``fields`` maps member names to raw C initializer text.
+    """
+
+    struct_type: str
+    var_name: str
+    fields: tuple[tuple[str, str], ...]
+    const: bool = True
+    comment: str = ""
+
+    def render(self) -> str:
+        lines = []
+        if self.comment:
+            lines.append(f"/* {self.comment} */")
+        qualifiers = "static const" if self.const else "static"
+        lines.append(f"{qualifiers} struct {self.struct_type} {self.var_name} = {{")
+        lines.extend(f"\t.{name} = {value}," for name, value in self.fields)
+        lines.append("};")
+        return "\n".join(lines)
+
+    def field_value(self, name: str) -> str | None:
+        for field_name, value in self.fields:
+            if field_name == name:
+                return value
+        return None
+
+
+@dataclass(frozen=True)
+class CStatement:
+    """A free-standing top-level statement or call (e.g. module init bodies)."""
+
+    text: str
+
+    def render(self) -> str:
+        return self.text
+
+
+@dataclass
+class CSourceFile:
+    """One file of the synthetic kernel codebase.
+
+    Items are rendered in insertion order; the file also keeps an index of
+    its defines, structs, functions and initializers so the codebase can build
+    fast lookup tables without re-parsing its own output.
+    """
+
+    path: str
+    items: list[object] = field(default_factory=list)
+    header_comment: str = ""
+
+    def add(self, item) -> None:
+        self.items.append(item)
+
+    def extend(self, items: Iterable[object]) -> None:
+        self.items.extend(items)
+
+    def render(self) -> str:
+        parts = [f"// SPDX-License-Identifier: GPL-2.0", f"/* {self.path} */"]
+        if self.header_comment:
+            parts.append(f"/* {self.header_comment} */")
+        for item in self.items:
+            parts.append(item.render())
+        return "\n\n".join(parts) + "\n"
+
+    # Convenience indexed views -------------------------------------------------
+    def defines(self) -> list[CDefine]:
+        return [item for item in self.items if isinstance(item, CDefine)]
+
+    def structs(self) -> list[CStruct]:
+        return [item for item in self.items if isinstance(item, CStruct)]
+
+    def functions(self) -> list[CFunction]:
+        return [item for item in self.items if isinstance(item, CFunction)]
+
+    def initializers(self) -> list[CInitializer]:
+        return [item for item in self.items if isinstance(item, CInitializer)]
+
+
+__all__ = [
+    "CDefine",
+    "CStructField",
+    "CStruct",
+    "CFunction",
+    "CInitializer",
+    "CStatement",
+    "CSourceFile",
+]

@@ -1,0 +1,257 @@
+"""Profiles for the 28 valid drivers of the paper's Table 5.
+
+Table 5 compares driver specification generation between existing Syzkaller
+descriptions, SyzDescribe and KernelGPT on 30 drivers taken from the
+SyzDescribe evaluation; two of them (``ashmem``, ``fd#``) no longer exist in
+Linux 6.x and are therefore not modelled.  Each profile records the
+registration and dispatch pattern that drives how hard the driver is for the
+different generators (e.g. ``kvm``'s secondary VM/VCPU handlers, the sound
+drivers' unusual device naming that trips SyzDescribe), plus the number of
+ioctl operations, scaled to the paper's per-driver syscall counts.
+
+``SYZKALLER_DESCRIBED`` records how many of each driver's operations the
+"existing Syzkaller corpus" baseline describes (None = all of them), which is
+what makes the #Sys columns of Table 5 diverge between suites.
+"""
+
+from __future__ import annotations
+
+from .factory import DriverProfile, SecondaryProfile
+from .ops import DispatchStyle, RegistrationStyle
+
+_MISC = RegistrationStyle.MISC_NAME
+_NODENAME = RegistrationStyle.MISC_NODENAME
+_CDEV = RegistrationStyle.CDEV
+_PROC = RegistrationStyle.PROC
+
+_DIRECT = DispatchStyle.DIRECT_SWITCH
+_DELEG = DispatchStyle.DELEGATED
+_REWRITE = DispatchStyle.IOC_NR_REWRITE
+_TABLE = DispatchStyle.TABLE_LOOKUP
+
+
+#: Profiles for the Table 5 drivers, keyed by the paper's driver label.
+TABLE5_DRIVER_PROFILES: tuple[DriverProfile, ...] = (
+    DriverProfile(
+        name="btrfs-control", device_path="/dev/btrfs-control", registration=_MISC,
+        dispatch=_DIRECT, num_ops=5, op_prefix="BTRFS_IOC", config_option="CONFIG_BTRFS_FS",
+        comment="btrfs volume management control device",
+    ),
+    DriverProfile(
+        name="capi20", device_path="/dev/capi20", registration=_MISC, dispatch=_DELEG,
+        num_ops=18, op_prefix="CAPI", config_option="CONFIG_ISDN_CAPI",
+        comment="ISDN CAPI 2.0 interface",
+    ),
+    DriverProfile(
+        name="controlC#", device_path="/dev/snd/controlC#", registration=_CDEV,
+        dispatch=_DELEG, num_ops=21, op_prefix="SNDRV_CTL_IOCTL",
+        misc_name="snd-control", config_option="CONFIG_SND",
+        comment="ALSA control device; device node name differs from the chrdev region name",
+    ),
+    DriverProfile(
+        name="fuse", device_path="/dev/fuse", registration=_MISC, dispatch=_DIRECT,
+        num_ops=2, op_prefix="FUSE_DEV_IOC", config_option="CONFIG_FUSE_FS",
+        comment="filesystem in userspace device",
+    ),
+    DriverProfile(
+        name="hpet", device_path="/dev/hpet", registration=_MISC, dispatch=_DELEG,
+        num_ops=7, op_prefix="HPET", config_option="CONFIG_HPET",
+        comment="high precision event timer",
+    ),
+    DriverProfile(
+        name="i2c-#", device_path="/dev/i2c-#", registration=_CDEV, dispatch=_DIRECT,
+        num_ops=10, op_prefix="I2C", config_option="CONFIG_I2C_CHARDEV",
+        comment="i2c adapter character device",
+    ),
+    DriverProfile(
+        name="kvm", device_path="/dev/kvm", registration=_MISC, dispatch=_DIRECT,
+        num_ops=16, op_prefix="KVM", config_option="CONFIG_KVM", blocks_scale=2.2,
+        secondary=(
+            SecondaryProfile(name="kvm-vm", resource="kvm_vm", num_ops=28, producer_macro="KVM_CREATE_VM", op_prefix="KVM_VM"),
+            SecondaryProfile(name="kvm-vcpu", resource="kvm_vcpu", num_ops=26, producer_macro="KVM_VM_CREATE_VCPU", op_prefix="KVM_VCPU"),
+        ),
+        op_names=("KVM_CREATE_VM", "KVM_GET_API_VERSION", "KVM_CHECK_EXTENSION", "KVM_GET_VCPU_MMAP_SIZE"),
+        comment="kernel virtual machine hypervisor interface with VM/VCPU secondary handlers",
+    ),
+    DriverProfile(
+        name="loop-control", device_path="/dev/loop-control", registration=_MISC,
+        dispatch=_DIRECT, num_ops=4, op_prefix="LOOP_CTL", config_option="CONFIG_BLK_DEV_LOOP",
+        comment="loop device allocation control",
+    ),
+    DriverProfile(
+        name="loop#", device_path="/dev/loop#", registration=_CDEV, dispatch=_DELEG,
+        num_ops=12, op_prefix="LOOP", config_option="CONFIG_BLK_DEV_LOOP", blocks_scale=1.6,
+        comment="loop block device",
+    ),
+    DriverProfile(
+        name="mISDNtimer", device_path="/dev/mISDNtimer", registration=_MISC,
+        dispatch=_DIRECT, num_ops=3, op_prefix="MISDN_TIMER", config_option="CONFIG_MISDN",
+        comment="modular ISDN timer device",
+    ),
+    DriverProfile(
+        name="nbd#", device_path="/dev/nbd#", registration=_CDEV, dispatch=_DELEG,
+        num_ops=12, op_prefix="NBD", config_option="CONFIG_BLK_DEV_NBD",
+        comment="network block device",
+    ),
+    DriverProfile(
+        name="nvram", device_path="/dev/nvram", registration=_MISC, dispatch=_DIRECT,
+        num_ops=6, op_prefix="NVRAM", config_option="CONFIG_NVRAM",
+        comment="non-volatile RAM access",
+    ),
+    DriverProfile(
+        name="ppp", device_path="/dev/ppp", registration=_MISC, dispatch=_DELEG,
+        num_ops=34, op_prefix="PPPIOC", config_option="CONFIG_PPP", blocks_scale=1.3,
+        comment="point-to-point protocol channel device",
+    ),
+    DriverProfile(
+        name="ptmx", device_path="/dev/ptmx", registration=_CDEV, dispatch=_DELEG,
+        num_ops=30, op_prefix="TIOC", config_option="CONFIG_UNIX98_PTYS", blocks_scale=1.8,
+        comment="pseudo-terminal multiplexer",
+    ),
+    DriverProfile(
+        name="qat_adf_ctl", device_path="/dev/qat_adf_ctl", registration=_MISC,
+        dispatch=_REWRITE, num_ops=6, op_prefix="IOCTL_ADF", config_option="CONFIG_CRYPTO_DEV_QAT",
+        comment="Intel QuickAssist control device; rewrites the command with _IOC_NR",
+    ),
+    DriverProfile(
+        name="rfkill", device_path="/dev/rfkill", registration=_MISC, dispatch=_DIRECT,
+        num_ops=3, op_prefix="RFKILL_IOCTL", config_option="CONFIG_RFKILL",
+        comment="radio kill switch",
+    ),
+    DriverProfile(
+        name="rtc#", device_path="/dev/rtc#", registration=_CDEV, dispatch=_DELEG,
+        num_ops=17, op_prefix="RTC", config_option="CONFIG_RTC_CLASS",
+        comment="real time clock",
+    ),
+    DriverProfile(
+        name="sg#", device_path="/dev/sg#", registration=_CDEV, dispatch=_DELEG,
+        num_ops=42, op_prefix="SG", config_option="CONFIG_CHR_DEV_SG", blocks_scale=1.2,
+        comment="SCSI generic device",
+    ),
+    DriverProfile(
+        name="snapshot", device_path="/dev/snapshot", registration=_MISC, dispatch=_REWRITE,
+        num_ops=15, op_prefix="SNAPSHOT", config_option="CONFIG_HIBERNATION",
+        comment="hibernation snapshot device; switches on _IOC_NR of the command",
+    ),
+    DriverProfile(
+        name="sr#", device_path="/dev/sr#", registration=_CDEV, dispatch=_DELEG,
+        num_ops=57, op_prefix="CDROM", config_option="CONFIG_BLK_DEV_SR", blocks_scale=1.1,
+        comment="SCSI CD-ROM device",
+    ),
+    DriverProfile(
+        name="timer", device_path="/dev/snd/timer", registration=_CDEV, dispatch=_DELEG,
+        num_ops=17, op_prefix="SNDRV_TIMER_IOCTL", misc_name="snd-timer",
+        config_option="CONFIG_SND_TIMER",
+        comment="ALSA timer device; device node name differs from the chrdev region name",
+    ),
+    DriverProfile(
+        name="udmabuf", device_path="/dev/udmabuf", registration=_MISC, dispatch=_DIRECT,
+        num_ops=4, op_prefix="UDMABUF", config_option="CONFIG_UDMABUF",
+        comment="userspace dma-buf allocator",
+    ),
+    DriverProfile(
+        name="uinput", device_path="/dev/uinput", registration=_MISC, dispatch=_DELEG,
+        num_ops=21, op_prefix="UI", config_option="CONFIG_INPUT_UINPUT",
+        comment="userspace input device",
+    ),
+    DriverProfile(
+        name="usbmon#", device_path="/dev/usbmon#", registration=_CDEV, dispatch=_DIRECT,
+        num_ops=9, op_prefix="MON_IOC", config_option="CONFIG_USB_MON",
+        comment="USB traffic monitor",
+    ),
+    DriverProfile(
+        name="vhost-net", device_path="/dev/vhost-net", registration=_NODENAME,
+        dispatch=_DELEG, num_ops=22, op_prefix="VHOST", config_option="CONFIG_VHOST_NET",
+        comment="vhost network acceleration; registered via miscdevice nodename",
+    ),
+    DriverProfile(
+        name="vhost-vsock", device_path="/dev/vhost-vsock", registration=_NODENAME,
+        dispatch=_DELEG, num_ops=22, op_prefix="VHOST_VSOCK", config_option="CONFIG_VHOST_VSOCK",
+        comment="vhost vsock transport; registered via miscdevice nodename",
+    ),
+    DriverProfile(
+        name="vmci", device_path="/dev/vmci", registration=_MISC, dispatch=_TABLE,
+        num_ops=18, op_prefix="IOCTL_VMCI", config_option="CONFIG_VMWARE_VMCI",
+        comment="VMware VMCI device; dispatches through a command lookup table",
+    ),
+    DriverProfile(
+        name="vsock", device_path="/dev/vsock", registration=_MISC, dispatch=_DIRECT,
+        num_ops=2, op_prefix="VSOCK_IOCTL", config_option="CONFIG_VSOCKETS",
+        comment="vsock address family control device",
+    ),
+)
+
+#: Number of each driver's operations described by the existing Syzkaller
+#: corpus (``None`` means every operation is described).  Scaled from the
+#: paper's Table 5 ``# Sys`` column for Syzkaller.
+SYZKALLER_DESCRIBED: dict[str, int | None] = {
+    "btrfs-control": 1,
+    "capi20": 12,
+    "controlC#": 21,
+    "fuse": 2,
+    "hpet": 1,
+    "i2c-#": 9,
+    "kvm": 40,
+    "loop-control": 3,
+    "loop#": 11,
+    "mISDNtimer": 3,
+    "nbd#": 10,
+    "nvram": 1,
+    "ppp": 23,
+    "ptmx": 30,
+    "qat_adf_ctl": 5,
+    "rfkill": 3,
+    "rtc#": 17,
+    "sg#": 38,
+    "snapshot": 12,
+    "sr#": 1,
+    "timer": 15,
+    "udmabuf": 4,
+    "uinput": 21,
+    "usbmon#": 8,
+    "vhost-net": 22,
+    "vhost-vsock": 3,
+    "vmci": 17,
+    "vsock": 1,
+}
+
+#: Paper Table 5 values used for shape comparison in EXPERIMENTS.md.
+PAPER_TABLE5 = {
+    "btrfs-control": {"syzkaller": (1, 1523), "syzdescribe": (5, 2848), "kernelgpt": (5, 2786)},
+    "capi20": {"syzkaller": (13, 2818), "syzdescribe": (19, 3011), "kernelgpt": (14, 3138)},
+    "controlC#": {"syzkaller": (22, 4666), "syzdescribe": (None, None), "kernelgpt": (15, 4703)},
+    "fuse": {"syzkaller": (2, 1719), "syzdescribe": (2, 2315), "kernelgpt": (2, 2425)},
+    "hpet": {"syzkaller": (1, 1591), "syzdescribe": (7, 2289), "kernelgpt": (7, 2493)},
+    "i2c-#": {"syzkaller": (10, 4168), "syzdescribe": (10, 4024), "kernelgpt": (10, 4475)},
+    "kvm": {"syzkaller": (118, 10948), "syzdescribe": (165, 9444), "kernelgpt": (71, 15605)},
+    "loop-control": {"syzkaller": (4, 7042), "syzdescribe": (4, 8211), "kernelgpt": (4, 8537)},
+    "loop#": {"syzkaller": (12, 8498), "syzdescribe": (12, 8519), "kernelgpt": (12, 8518)},
+    "mISDNtimer": {"syzkaller": (3, 1992), "syzdescribe": (3, 1965), "kernelgpt": (3, 1960)},
+    "nbd#": {"syzkaller": (11, 4103), "syzdescribe": (13, 5311), "kernelgpt": (12, 5475)},
+    "nvram": {"syzkaller": (1, 1618), "syzdescribe": (3, 2329), "kernelgpt": (6, 2341)},
+    "ppp": {"syzkaller": (24, 5710), "syzdescribe": (41, 6102), "kernelgpt": (34, 7509)},
+    "ptmx": {"syzkaller": (49, 11598), "syzdescribe": (41, 10870), "kernelgpt": (30, 11344)},
+    "qat_adf_ctl": {"syzkaller": (6, 2788), "syzdescribe": (6, 2651), "kernelgpt": (6, 2883)},
+    "rfkill": {"syzkaller": (3, 2117), "syzdescribe": (4, 2388), "kernelgpt": (3, 2301)},
+    "rtc#": {"syzkaller": (24, 4458), "syzdescribe": (33, 4596), "kernelgpt": (17, 5513)},
+    "sg#": {"syzkaller": (39, 7412), "syzdescribe": (30, 6414), "kernelgpt": (43, 7392)},
+    "snapshot": {"syzkaller": (13, 3076), "syzdescribe": (16, 3260), "kernelgpt": (15, 3470)},
+    "sr#": {"syzkaller": (1, 2882), "syzdescribe": (68, 3725), "kernelgpt": (58, 5091)},
+    "timer": {"syzkaller": (16, 3328), "syzdescribe": (None, None), "kernelgpt": (17, 3621)},
+    "udmabuf": {"syzkaller": (4, 2771), "syzdescribe": (25, 2115), "kernelgpt": (4, 2921)},
+    "uinput": {"syzkaller": (22, 5470), "syzdescribe": (24, 4714), "kernelgpt": (21, 6397)},
+    "usbmon#": {"syzkaller": (9, 3646), "syzdescribe": (16, 3806), "kernelgpt": (9, 4332)},
+    "vhost-net": {"syzkaller": (34, 3615), "syzdescribe": (25, 3435), "kernelgpt": (22, 3541)},
+    "vhost-vsock": {"syzkaller": (3, 2911), "syzdescribe": (25, 3448), "kernelgpt": (22, 3803)},
+    "vmci": {"syzkaller": (18, 3760), "syzdescribe": (26, 4316), "kernelgpt": (18, 4674)},
+    "vsock": {"syzkaller": (1, 1541), "syzdescribe": (2, 1821), "kernelgpt": (2, 1744)},
+}
+
+TABLE5_DRIVER_NAMES: tuple[str, ...] = tuple(profile.name for profile in TABLE5_DRIVER_PROFILES)
+
+__all__ = [
+    "TABLE5_DRIVER_PROFILES",
+    "TABLE5_DRIVER_NAMES",
+    "SYZKALLER_DESCRIBED",
+    "PAPER_TABLE5",
+]

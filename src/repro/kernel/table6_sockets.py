@@ -1,0 +1,208 @@
+"""Socket protocol handlers: the Table 6 evaluation set and the scan population.
+
+Table 6 compares socket specification generation between the existing
+Syzkaller descriptions and KernelGPT on ten protocol handlers.  SyzDescribe
+cannot analyse sockets at all, so it does not appear.  Two of the Table 4
+bugs live in sockets (the RDS out-of-bounds read reached through the missing
+``sendto`` description and the IPv6 append-data leak in ``l2tp_ip6``), which
+is why those profiles carry bug sites on message operations the existing
+corpus does not describe.
+
+As with drivers, a deterministic filler population brings the socket scan to
+the paper's scale (85 handlers under ``allyesconfig``, 81 loaded, 66 with
+missing descriptions, 22 of them missing more than 80% of their syscalls).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .factory import BugSite, SocketProfile
+
+#: Profiles for the ten Table 6 socket handlers.
+TABLE6_SOCKET_PROFILES: tuple[SocketProfile, ...] = (
+    SocketProfile(
+        name="caif_stream", family_macro="AF_CAIF", family_value=37, sock_type=1,
+        num_setsockopt=2, num_getsockopt=1,
+        message_ops=("bind", "connect", "sendto", "recvfrom"),
+        config_option="CONFIG_CAIF", comment="CAIF stream sockets",
+    ),
+    SocketProfile(
+        name="l2tp_ip6", family_macro="AF_INET6", family_value=10, sock_type=2, protocol=115,
+        num_setsockopt=45, num_getsockopt=40,
+        message_ops=("bind", "connect", "sendto", "recvfrom", "sendmsg", "recvmsg"),
+        config_option="CONFIG_L2TP",
+        bugs=(BugSite("ipv6-leak-append-data", op_index=3, field_name="payload_len", min_value=0x10000),),
+        comment="L2TP over IPv6 sockets (one Syzkaller syscall hides 45 option values)",
+    ),
+    SocketProfile(
+        name="llc_ui", family_macro="AF_LLC", family_value=26, sock_type=2,
+        num_setsockopt=10, num_getsockopt=6,
+        message_ops=("bind", "connect", "sendto", "recvfrom", "sendmsg"),
+        config_option="CONFIG_LLC2", comment="IEEE 802.2 LLC sockets",
+    ),
+    SocketProfile(
+        name="mptcp", family_macro="AF_INET", family_value=2, sock_type=1, protocol=262,
+        num_setsockopt=32, num_getsockopt=28,
+        message_ops=("bind", "connect", "sendto", "recvfrom", "sendmsg", "recvmsg"),
+        config_option="CONFIG_MPTCP", comment="multipath TCP sockets",
+    ),
+    SocketProfile(
+        name="packet", family_macro="AF_PACKET", family_value=17, sock_type=3,
+        num_setsockopt=12, num_getsockopt=6,
+        message_ops=("bind", "sendto", "recvfrom", "sendmsg"),
+        config_option="CONFIG_PACKET", blocks_scale=1.8, comment="raw packet sockets",
+    ),
+    SocketProfile(
+        name="phonet_dgram", family_macro="AF_PHONET", family_value=35, sock_type=2,
+        num_setsockopt=4, num_getsockopt=2,
+        message_ops=("bind", "connect", "sendto", "recvfrom"),
+        config_option="CONFIG_PHONET", comment="Phonet datagram sockets",
+    ),
+    SocketProfile(
+        name="pppol2tp", family_macro="AF_PPPOX", family_value=24, sock_type=2,
+        num_setsockopt=6, num_getsockopt=3,
+        message_ops=("connect", "sendto", "recvfrom"),
+        config_option="CONFIG_PPPOL2TP", blocks_scale=1.5, comment="PPP over L2TP sockets",
+    ),
+    SocketProfile(
+        name="rds", family_macro="AF_RDS", family_value=21, sock_type=5,
+        num_setsockopt=8, num_getsockopt=4,
+        message_ops=("bind", "connect", "sendto", "recvfrom", "recvmsg"),
+        config_option="CONFIG_RDS", blocks_scale=1.4,
+        bugs=(BugSite("rds-oob-cmsg-recv", op_index=3, field_name="cmsg_type", min_value=0x40),),
+        comment="reliable datagram sockets; the sendto description is missing upstream",
+    ),
+    SocketProfile(
+        name="rfcomm_sock", family_macro="AF_BLUETOOTH", family_value=31, sock_type=1, protocol=3,
+        num_setsockopt=7, num_getsockopt=4,
+        message_ops=("bind", "connect", "sendto", "recvfrom"),
+        config_option="CONFIG_BT_RFCOMM", comment="Bluetooth RFCOMM sockets",
+    ),
+    SocketProfile(
+        name="sco_sock", family_macro="AF_BLUETOOTH", family_value=31, sock_type=5, protocol=2,
+        num_setsockopt=6, num_getsockopt=4,
+        message_ops=("bind", "connect", "sendto", "recvfrom"),
+        config_option="CONFIG_BT_SCO", comment="Bluetooth SCO audio sockets",
+    ),
+)
+
+#: Number of each Table 6 socket's operations the existing Syzkaller corpus
+#: describes (the paper's Table 6 ``# Sys`` column for Syzkaller, minus the
+#: ``socket`` call itself).
+SYZKALLER_SOCKET_DESCRIBED: dict[str, int | None] = {
+    "caif_stream": 3,
+    "l2tp_ip6": 37,
+    "llc_ui": 9,
+    "mptcp": 21,
+    "packet": 21,
+    "phonet_dgram": 6,
+    "pppol2tp": 9,
+    "rds": 10,
+    "rfcomm_sock": 15,
+    "sco_sock": 14,
+}
+
+#: Paper Table 6 values used for shape comparison in EXPERIMENTS.md.
+PAPER_TABLE6 = {
+    "caif_stream": {"syzkaller": (4, 8947, 0.7), "kernelgpt": (6, 11902, 0.7)},
+    "l2tp_ip6": {"syzkaller": (38, 18350, 0.7), "kernelgpt": (99, 18080, 0.7)},
+    "llc_ui": {"syzkaller": (10, 7648, 0.3), "kernelgpt": (24, 16437, 0.0)},
+    "mptcp": {"syzkaller": (22, 10480, 1.3), "kernelgpt": (70, 13942, 0.7)},
+    "packet": {"syzkaller": (22, 22082, 0.3), "kernelgpt": (25, 21363, 0.3)},
+    "phonet_dgram": {"syzkaller": (7, 11426, 1.0), "kernelgpt": (12, 15202, 0.7)},
+    "pppol2tp": {"syzkaller": (10, 18789, 0.3), "kernelgpt": (14, 12379, 0.7)},
+    "rds": {"syzkaller": (11, 13693, 0.3), "kernelgpt": (19, 17462, 1.0)},
+    "rfcomm_sock": {"syzkaller": (22, 7263, 1.0), "kernelgpt": (16, 10893, 0.7)},
+    "sco_sock": {"syzkaller": (20, 11349, 1.0), "kernelgpt": (19, 16527, 0.7)},
+}
+
+#: Scan-scale targets for sockets (paper §5.1).
+SOCKET_SCAN_TARGETS = {
+    "socket_total": 85,
+    "socket_loaded": 81,
+    "socket_incomplete": 66,
+    "socket_mostly_missing": 22,  # handlers missing more than 80% of their syscalls
+}
+
+_FAMILIES = (
+    ("AF_INET", 2), ("AF_INET6", 10), ("AF_UNIX", 1), ("AF_PACKET", 17),
+    ("AF_BLUETOOTH", 31), ("AF_NETLINK", 16), ("AF_CAN", 29), ("AF_TIPC", 30),
+    ("AF_XDP", 44), ("AF_VSOCK", 40), ("AF_KCM", 41), ("AF_QIPCRTR", 42),
+)
+
+
+def _filler_socket(index: int, *, loaded: bool) -> SocketProfile:
+    rng = random.Random(f"filler-socket:{index}")
+    family_macro, family_value = _FAMILIES[index % len(_FAMILIES)]
+    name = f"synthsock{index:02d}"
+    message_pool = ("bind", "connect", "sendto", "recvfrom", "sendmsg", "recvmsg", "accept")
+    message_ops = tuple(rng.sample(message_pool, rng.randint(2, 5)))
+    return SocketProfile(
+        name=name,
+        family_macro=family_macro,
+        family_value=family_value,
+        sock_type=rng.choice((1, 2, 3, 5)),
+        protocol=rng.randint(0, 20),
+        num_setsockopt=rng.randint(2, 12),
+        num_getsockopt=rng.randint(1, 6),
+        message_ops=message_ops,
+        opt_prefix=name.upper(),
+        config_option=f"CONFIG_{name.upper()}",
+        hardware_gated=not loaded,
+        comment=f"synthetic filler socket protocol #{index}",
+    )
+
+
+def socket_population() -> list[tuple[SocketProfile, int | None]]:
+    """Return every socket profile with its existing-corpus coverage.
+
+    Coverage values follow the same convention as the driver population:
+    ``None`` = fully described, ``0`` = undescribed, otherwise the count of
+    described operations.
+    """
+    population: list[tuple[SocketProfile, int | None]] = []
+    for profile in TABLE6_SOCKET_PROFILES:
+        population.append((profile, SYZKALLER_SOCKET_DESCRIBED[profile.name]))
+
+    targets = SOCKET_SCAN_TARGETS
+    table6_count = len(TABLE6_SOCKET_PROFILES)
+    filler_total = targets["socket_total"] - table6_count
+    filler_loaded = targets["socket_loaded"] - table6_count
+    filler_incomplete = targets["socket_incomplete"] - table6_count
+    filler_mostly_missing = targets["socket_mostly_missing"]
+
+    rng = random.Random("filler-socket-coverage")
+    index = 0
+    # Loaded handlers missing more than 80% of their syscalls.
+    for _ in range(filler_mostly_missing):
+        profile = _filler_socket(index, loaded=True)
+        total_ops = profile.num_setsockopt + profile.num_getsockopt + len(profile.message_ops) + 1
+        described = rng.randint(0, max(0, int(total_ops * 0.18)))
+        population.append((profile, described))
+        index += 1
+    # Loaded handlers with a smaller fraction missing.
+    for _ in range(filler_incomplete - filler_mostly_missing):
+        profile = _filler_socket(index, loaded=True)
+        total_ops = profile.num_setsockopt + profile.num_getsockopt + len(profile.message_ops) + 1
+        described = max(1, int(total_ops * rng.uniform(0.3, 0.9)))
+        population.append((profile, described))
+        index += 1
+    # Loaded and fully described.
+    for _ in range(filler_loaded - filler_incomplete):
+        population.append((_filler_socket(index, loaded=True), None))
+        index += 1
+    # Compiled but not loaded.
+    for _ in range(filler_total - filler_loaded):
+        population.append((_filler_socket(index, loaded=False), None))
+        index += 1
+    return population
+
+
+__all__ = [
+    "TABLE6_SOCKET_PROFILES",
+    "SYZKALLER_SOCKET_DESCRIBED",
+    "PAPER_TABLE6",
+    "SOCKET_SCAN_TARGETS",
+    "socket_population",
+]

@@ -1,0 +1,36 @@
+"""Analysis-LLM backends, prompts and reply parsing."""
+
+from .backend import (
+    CapabilityProfile,
+    Completion,
+    GPT35_PROFILE,
+    GPT4O_PROFILE,
+    GPT4_PROFILE,
+    LLMBackend,
+    Prompt,
+    UsageMeter,
+)
+from .degraded import DegradedBackend
+from .oracle import OracleBackend, slice_case_block
+from .prompts import ParsedReply, PromptLibrary, UnknownItem, parse_reply
+from .replay import RecordingBackend, ReplayBackend
+
+__all__ = [
+    "LLMBackend",
+    "Prompt",
+    "Completion",
+    "UsageMeter",
+    "CapabilityProfile",
+    "GPT4_PROFILE",
+    "GPT4O_PROFILE",
+    "GPT35_PROFILE",
+    "OracleBackend",
+    "DegradedBackend",
+    "ReplayBackend",
+    "RecordingBackend",
+    "PromptLibrary",
+    "UnknownItem",
+    "ParsedReply",
+    "parse_reply",
+    "slice_case_block",
+]

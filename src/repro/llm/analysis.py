@@ -1,0 +1,294 @@
+"""Text-level C analysis helpers shared by the simulated analysts.
+
+These functions operate purely on source *text* (the code snippets contained
+in a prompt), never on the kernel's ground-truth objects: they are the
+"knowledge" of the simulated GPT-4 analyst.  Keeping them here, separate from
+the backend, also lets the test-suite exercise the analysis directly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_WIDTH_BY_CTYPE = {
+    "__u8": "int8",
+    "__s8": "int8",
+    "char": "int8",
+    "__u16": "int16",
+    "__s16": "int16",
+    "__u32": "int32",
+    "__s32": "int32",
+    "int": "int32",
+    "unsigned int": "int32",
+    "__u64": "int64",
+    "__s64": "int64",
+    "unsigned long": "int64",
+}
+
+_MISC_NAME_RE = re.compile(r"\.name\s*=\s*\"(?P<name>[^\"]+)\"")
+_MISC_NODENAME_RE = re.compile(r"\.nodename\s*=\s*\"(?P<name>[^\"]+)\"")
+_DEVICE_CREATE_RE = re.compile(r"device_create\([^;]*\"(?P<tmpl>[^\"]+)\"")
+_PROC_CREATE_RE = re.compile(r"proc_create\(\s*\"(?P<name>[^\"]+)\"")
+_CHRDEV_RE = re.compile(r"alloc_chrdev_region\([^;]*\"(?P<name>[^\"]+)\"")
+_CASE_RE = re.compile(r"case\s+(?P<macro>\w+)\s*:\s*\n\s*return\s+(?P<fn>\w+)\(", re.MULTILINE)
+_CASE_BREAK_RE = re.compile(r"case\s+(?P<macro>\w+)\s*:", re.MULTILINE)
+_DELEGATE_RE = re.compile(r"^\s*return\s+(?P<fn>\w+)\(file,\s*command,\s*u\);\s*$", re.MULTILINE)
+_TABLE_LOOP_RE = re.compile(r"(?P<table>_\w+_ioctl_table)\[i\]\.cmd")
+_TABLE_ENTRY_RE = re.compile(r"\.\{\s*(?P<macro>\w+)\s*=\s*(?P<fn>\w+)\s*\}", re.MULTILINE)
+_TABLE_ENTRY_ALT_RE = re.compile(r"\{\s*(?P<macro>[A-Z]\w+)\s*,?\s*=?\s*(?P<fn>\w+)\s*\}")
+_ANON_INODE_RE = re.compile(r"anon_inode_getfd\(\s*\"(?P<name>[^\"]+)\"\s*,\s*&(?P<fops>\w+)")
+_COPY_FROM_RE = re.compile(r"copy_from_user\(&\w+,\s*\w+,\s*sizeof\(struct\s+(?P<name>\w+)\)\)")
+_COPY_TO_RE = re.compile(r"copy_to_user\(\w+,\s*&\w+,\s*sizeof\(struct\s+(?P<name>\w+)\)\)")
+_COPY_SOCKPTR_RE = re.compile(r"copy_from_sockptr\(&\w+,\s*\w+,\s*sizeof\(struct\s+(?P<name>\w+)\)\)")
+_MEMCPY_MSG_RE = re.compile(r"memcpy_from_msg\(&\w+,\s*\w+,\s*sizeof\(struct\s+(?P<name>\w+)\)\)")
+_STRUCT_DEF_RE = re.compile(r"struct\s+(?P<name>\w+)\s*\{(?P<body>.*?)\n\};", re.DOTALL)
+_FIELD_RE = re.compile(
+    r"^\s*(?P<type>(?:struct\s+)?[A-Za-z_][\w ]*?)\s+(?P<name>\w+)(?P<array>\[\w*\])?\s*;(?:\s*/\*\s*(?P<comment>.*?)\s*\*/)?",
+    re.MULTILINE,
+)
+_RANGE_GUARD_RE = re.compile(r"params\.(?P<field>\w+)\s*<\s*(?P<low>\d+)\s*\|\|\s*params\.(?P<field2>\w+)\s*>\s*(?P<high>\d+)")
+_FAMILY_RE = re.compile(r"\.family\s*=\s*(?P<family>AF_\w+)")
+_SOCK_TYPE_RE = re.compile(r"sock->type\s*!=\s*(?P<type>\d+)")
+_PROTOCOL_RE = re.compile(r"protocol\s*!=\s*(?P<proto>\d+)\s*&&")
+
+
+@dataclass(frozen=True)
+class DeviceNameFinding:
+    """Result of device-path inference from registration code."""
+
+    path: str
+    source: str   # which pattern produced it: nodename / name / device_create / proc / chrdev
+
+
+def infer_device_path(registration_text: str) -> DeviceNameFinding | None:
+    """Infer the userspace device path from registration code.
+
+    The priority order encodes the knowledge the paper credits the LLM with:
+    ``miscdevice.nodename`` wins over ``.name`` when both are present
+    (the device-mapper case of Figure 2), ``device_create`` templates win
+    over the ``alloc_chrdev_region`` region name for character devices, and
+    ``proc_create`` maps under ``/proc``.
+    """
+    nodename = _MISC_NODENAME_RE.search(registration_text)
+    if nodename and "miscdevice" in registration_text:
+        return DeviceNameFinding(f"/dev/{nodename.group('name')}", "nodename")
+    created = _DEVICE_CREATE_RE.search(registration_text)
+    if created:
+        template = created.group("tmpl").replace("%d", "#")
+        return DeviceNameFinding(f"/dev/{template}", "device_create")
+    proc = _PROC_CREATE_RE.search(registration_text)
+    if proc:
+        return DeviceNameFinding(f"/proc/{proc.group('name')}", "proc")
+    name = _MISC_NAME_RE.search(registration_text)
+    if name and "miscdevice" in registration_text:
+        return DeviceNameFinding(f"/dev/{name.group('name')}", "name")
+    chrdev = _CHRDEV_RE.search(registration_text)
+    if chrdev:
+        return DeviceNameFinding(f"/dev/{chrdev.group('name')}", "chrdev")
+    return None
+
+
+def infer_socket_identity(text: str) -> tuple[str | None, int | None, int | None]:
+    """Infer (family macro, socket type, protocol) from socket source text."""
+    family = None
+    family_match = _FAMILY_RE.search(text)
+    if family_match:
+        family = family_match.group("family")
+    sock_type = None
+    type_match = _SOCK_TYPE_RE.search(text)
+    if type_match:
+        sock_type = int(type_match.group("type"))
+    protocol = None
+    proto_match = _PROTOCOL_RE.search(text)
+    if proto_match:
+        protocol = int(proto_match.group("proto"))
+    return family, sock_type, protocol
+
+
+def uses_ioc_nr_rewrite(code: str) -> bool:
+    """True when the dispatcher switches on ``_IOC_NR(cmd)`` rather than ``cmd``."""
+    return "_IOC_NR(" in code
+
+
+def find_switch_cases(code: str) -> list[tuple[str, str | None]]:
+    """Return (case macro, handler function) pairs from switch-based dispatch."""
+    cases: list[tuple[str, str | None]] = []
+    seen: set[str] = set()
+    for match in _CASE_RE.finditer(code):
+        macro = match.group("macro")
+        if macro not in seen:
+            cases.append((macro, match.group("fn")))
+            seen.add(macro)
+    # Cases that fall through to a break (socket option handlers).
+    for match in _CASE_BREAK_RE.finditer(code):
+        macro = match.group("macro")
+        if macro not in seen:
+            cases.append((macro, None))
+            seen.add(macro)
+    return cases
+
+
+def find_delegation_target(code: str) -> str | None:
+    """Return the helper a registered handler fully delegates to, if any."""
+    match = _DELEGATE_RE.search(code)
+    if match:
+        return match.group("fn")
+    return None
+
+
+def find_lookup_table(code: str) -> str | None:
+    """Return the name of a command lookup table referenced by the dispatcher."""
+    match = _TABLE_LOOP_RE.search(code)
+    if match:
+        return match.group("table")
+    return None
+
+
+def parse_lookup_table_entries(table_text: str) -> list[tuple[str, str]]:
+    """Parse ``{ CMD_MACRO, handler_fn }`` entries from a lookup-table initializer."""
+    entries: list[tuple[str, str]] = []
+    for line in table_text.splitlines():
+        line = line.strip().rstrip(",")
+        match = re.match(r"^\.?\{?\s*\{?\s*(?P<macro>[A-Z][A-Z0-9_]+)\s*[,=]\s*(?P<fn>\w+)\s*\}", line)
+        if match:
+            entries.append((match.group("macro"), match.group("fn")))
+    return entries
+
+
+def find_resource_production(code: str) -> tuple[str, str] | None:
+    """Return (resource name, fops handler) when the code creates a new fd."""
+    match = _ANON_INODE_RE.search(code)
+    if match:
+        return match.group("name"), match.group("fops")
+    return None
+
+
+def infer_arg_struct(code: str) -> tuple[str | None, str]:
+    """Infer the (struct name, direction) of the untyped ioctl/sockopt argument."""
+    from_user = _COPY_FROM_RE.search(code) or _COPY_SOCKPTR_RE.search(code) or _MEMCPY_MSG_RE.search(code)
+    to_user = _COPY_TO_RE.search(code)
+    if from_user and to_user:
+        return from_user.group("name"), "inout"
+    if from_user:
+        return from_user.group("name"), "in"
+    if to_user:
+        return to_user.group("name"), "out"
+    if re.search(r"unsigned long arg\b", code) and "argp" not in code:
+        return None, "scalar"
+    return None, "none"
+
+
+@dataclass(frozen=True)
+class AnalyzedField:
+    """One struct field as understood from C text."""
+
+    name: str
+    syz_type: str            # rendered syzlang type expression
+    out: bool = False
+    nested_struct: str | None = None
+
+
+def analyze_struct_text(
+    struct_name: str,
+    prompt_text: str,
+    *,
+    handler_body: str = "",
+) -> tuple[list[AnalyzedField], list[str]]:
+    """Extract syzlang field descriptions for ``struct_name`` from prompt text.
+
+    Returns the analyzed fields plus the names of nested structs whose
+    definitions were *not* present in the prompt (they become UNKNOWNs).
+    The analysis reconstructs the semantic relationships the paper highlights:
+    count fields become ``len[...]``, kernel-written fields become ``(out)``,
+    and range checks in the handler body become integer ranges.
+    """
+    definition = None
+    for match in _STRUCT_DEF_RE.finditer(prompt_text):
+        if match.group("name") == struct_name:
+            definition = match.group("body")
+            break
+    if definition is None:
+        return [], [struct_name]
+
+    ranges: dict[str, tuple[int, int]] = {}
+    for match in _RANGE_GUARD_RE.finditer(handler_body or prompt_text):
+        ranges[match.group("field")] = (int(match.group("low")), int(match.group("high")))
+
+    raw_fields: list[dict] = []
+    for match in _FIELD_RE.finditer(definition):
+        raw_fields.append(
+            {
+                "type": match.group("type").strip(),
+                "name": match.group("name"),
+                "array": match.group("array"),
+                "comment": (match.group("comment") or "").strip(),
+            }
+        )
+    flexible_fields = {
+        item["name"] for item in raw_fields if item["array"] is not None and item["array"] in ("[]", "[ ]")
+    }
+
+    fields: list[AnalyzedField] = []
+    missing: list[str] = []
+    for item in raw_fields:
+        name = item["name"]
+        c_type = item["type"]
+        comment = item["comment"].lower()
+        array = item["array"]
+        out = "written by the kernel" in comment
+        nested = None
+        if c_type.startswith("struct "):
+            nested = c_type.removeprefix("struct ").strip()
+        width = _WIDTH_BY_CTYPE.get(c_type, "int32")
+
+        if nested is not None:
+            if not re.search(rf"struct\s+{nested}\s*\{{", prompt_text):
+                missing.append(nested)
+            if array:
+                syz = f"array[{nested}]"
+            else:
+                syz = nested
+        elif array is not None and array in ("[]", "[ ]"):
+            syz = f"array[{width}]"
+        elif array is not None:
+            length = array.strip("[]")
+            elem = "int8" if c_type == "char" else width
+            syz = f"array[{elem}, {length}]" if length else f"array[{elem}]"
+        elif ("number of entries" in comment or name.startswith(("nr_", "num_")) or name == "count") and flexible_fields:
+            target = sorted(flexible_fields)[0]
+            syz = f"len[{target}, {width}]"
+        elif name in ranges:
+            low, high = ranges[name]
+            syz = f"{width}[{low}:{high}]"
+        else:
+            syz = width
+        fields.append(AnalyzedField(name=name, syz_type=syz, out=out, nested_struct=nested))
+    return fields, missing
+
+
+def render_typedef(struct_name: str, fields: list[AnalyzedField]) -> str:
+    """Render analyzed fields as a syzlang struct definition block."""
+    lines = [f"{struct_name} {{"]
+    for item in fields:
+        suffix = " (out)" if item.out else ""
+        lines.append(f"\t{item.name} {item.syz_type}{suffix}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DeviceNameFinding",
+    "infer_device_path",
+    "infer_socket_identity",
+    "uses_ioc_nr_rewrite",
+    "find_switch_cases",
+    "find_delegation_target",
+    "find_lookup_table",
+    "parse_lookup_table_entries",
+    "find_resource_production",
+    "infer_arg_struct",
+    "AnalyzedField",
+    "analyze_struct_text",
+    "render_typedef",
+]

@@ -1,0 +1,41 @@
+"""Weaker analysis backends for the LLM-choice ablation (§5.2.3).
+
+The paper compares GPT-4 against GPT-3.5 (much worse: roughly 40% fewer
+described syscalls and 21% less coverage) and GPT-4o (on par with GPT-4).
+Both are modelled as the same oracle machinery with a different
+:class:`~repro.llm.backend.CapabilityProfile`.
+"""
+
+from __future__ import annotations
+
+from .backend import CapabilityProfile, GPT35_PROFILE, GPT4O_PROFILE, GPT4_PROFILE
+from .oracle import OracleBackend
+
+
+class DegradedBackend(OracleBackend):
+    """An oracle with a weaker capability profile.
+
+    ``DegradedBackend.gpt35()`` / ``.gpt4o()`` build the two ablation
+    configurations; arbitrary profiles can be passed for custom studies.
+    """
+
+    def __init__(self, profile: CapabilityProfile, *, query_budget: int | None = None):
+        super().__init__(profile, query_budget=query_budget)
+
+    @classmethod
+    def gpt35(cls, **overrides) -> "DegradedBackend":
+        profile = GPT35_PROFILE.degraded(**overrides) if overrides else GPT35_PROFILE
+        return cls(profile)
+
+    @classmethod
+    def gpt4o(cls, **overrides) -> "DegradedBackend":
+        profile = GPT4O_PROFILE.degraded(**overrides) if overrides else GPT4O_PROFILE
+        return cls(profile)
+
+    @classmethod
+    def gpt4(cls, **overrides) -> "DegradedBackend":
+        profile = GPT4_PROFILE.degraded(**overrides) if overrides else GPT4_PROFILE
+        return cls(profile)
+
+
+__all__ = ["DegradedBackend"]

@@ -1,0 +1,384 @@
+"""Prompt construction and structured-reply parsing.
+
+KernelGPT communicates with the analysis LLM through text.  Prompts follow
+the template of the paper's Figure 6: a task instruction, the unknown
+functions/types carried over from the previous iteration (with their usage
+context), the source code of the relevant definitions, and few-shot examples
+that fix the output format.  Completions come back in a light-weight
+structured format (sections of ``- KEY: value | KEY: value`` records plus
+literal syzlang blocks) which :func:`parse_reply` turns into a
+:class:`ParsedReply` for the pipeline.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .backend import Prompt
+
+# ---------------------------------------------------------------------------
+# Few-shot examples (abridged versions of the paper's running examples)
+# ---------------------------------------------------------------------------
+
+IDENTIFIER_FEWSHOT = """\
+### Example
+### Source Code of Relevant Functions
+static long msm_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+	void __user *argp = (void __user *)arg;
+	switch (cmd) {
+	case DRM_IOCTL_MSM_SUBMITQUEUE_NEW:
+		return msm_submitqueue_new(file, argp);
+	default:
+		return -ENOTTY;
+	}
+}
+### Registration
+static struct miscdevice _msm_misc = {
+	.name = "msm",
+	.fops = &msm_fops,
+};
+### Reply
+### DEVICE
+- PATH: /dev/msm
+### IDENTIFIERS
+- IDENT: DRM_IOCTL_MSM_SUBMITQUEUE_NEW | HANDLER: msm_submitqueue_new | SYSCALL: ioctl
+### UNKNOWN
+(none)
+"""
+
+TYPE_FEWSHOT = """\
+### Example
+### Source Code of Relevant Functions
+static int msm_submitqueue_new(struct file *file, void __user *argp)
+{
+	struct drm_msm_submitqueue args;
+
+	if (copy_from_user(&args, argp, sizeof(struct drm_msm_submitqueue)))
+		return -EFAULT;
+	if (args.prio > 3)
+		return -EINVAL;
+	return 0;
+}
+struct drm_msm_submitqueue {
+	__u32 flags;
+	__u32 prio;
+	__u32 id;	/* written by the kernel */
+};
+### Reply
+### ARGTYPE
+- IDENT: DRM_IOCTL_MSM_SUBMITQUEUE_NEW | TYPE: drm_msm_submitqueue | DIR: inout
+### TYPEDEF
+drm_msm_submitqueue {
+	flags int32
+	prio int32[0:3]
+	id int32 (out)
+}
+### UNKNOWN
+(none)
+"""
+
+DEPENDENCY_FEWSHOT = """\
+### Example
+### Source Code of Relevant Functions
+static int kvm_dev_ioctl_create_vm(struct file *file, void __user *argp)
+{
+	return anon_inode_getfd("kvm-vm", &kvm_vm_fops, kvm, O_RDWR | O_CLOEXEC);
+}
+### Reply
+### DEPENDENCY
+- IDENT: KVM_CREATE_VM | PRODUCES: kvm_vm | HANDLER: kvm_vm_fops
+### UNKNOWN
+- HANDLER: kvm_vm_fops
+"""
+
+REPAIR_FEWSHOT = """\
+### Example
+### Invalid Description
+ioctl$FOO_SET(fd fd_foo, cmd const[FOO_SETT, int32], arg ptr[in, foo_args])
+### Error Messages
+error: ioctl$FOO_SET: constant 'FOO_SETT' cannot be resolved against kernel headers [unknown-constant]
+### Relevant Source Code
+#define FOO_SET 0x40044600
+### Reply
+### REPAIRED
+ioctl$FOO_SET(fd fd_foo, cmd const[FOO_SET, int32], arg ptr[in, foo_args])
+"""
+
+
+# ---------------------------------------------------------------------------
+# Prompt builders
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UnknownItem:
+    """An unknown definition carried from one analysis step to the next."""
+
+    kind: str   # "func" | "struct" | "handler" | "table"
+    name: str
+    usage: str = ""
+
+    def render(self) -> str:
+        usage = f" | USAGE: {self.usage}" if self.usage else ""
+        return f"- {self.kind.upper()}: {self.name}{usage}"
+
+
+class PromptLibrary:
+    """Builds the prompts for every pipeline stage.
+
+    ``fewshot=False`` drops the in-context examples (an ablation knob: the
+    paper attributes part of the output formatting reliability to few-shot
+    prompting).
+    """
+
+    def __init__(self, *, fewshot: bool = True, max_code_chars: int = 16000):
+        self._fewshot = fewshot
+        self._max_code_chars = max_code_chars
+
+    # -------------------------------------------------------------- helpers
+    def _clip(self, code: str) -> str:
+        if len(code) <= self._max_code_chars:
+            return code
+        return code[: self._max_code_chars] + "\n/* ... truncated ... */"
+
+    def _sections(self, *sections: tuple[str, str]) -> str:
+        parts = []
+        for title, body in sections:
+            if body:
+                parts.append(f"## {title}\n{body.rstrip()}")
+        return "\n\n".join(parts) + "\n"
+
+    # -------------------------------------------------------------- prompts
+    def identifier_prompt(
+        self,
+        subject: str,
+        *,
+        kind: str,
+        registration: str,
+        code: str,
+        unknowns: list[UnknownItem] | None = None,
+    ) -> Prompt:
+        """Prompt for the identifier-deduction stage (§3.1.1, Figure 6)."""
+        instruction = (
+            "Please analyse the following kernel "
+            f"{kind} operation handler and deduce the identifier values "
+            "(device path / socket family, ioctl command macros, socket option names) "
+            "used to reach each operation. If the command handling is delegated to "
+            "another function that is not shown, list it in the UNKNOWN section."
+        )
+        unknown_text = "\n".join(item.render() for item in (unknowns or [])) or "(none)"
+        return Prompt(
+            kind="identifier",
+            subject=subject,
+            text=self._sections(
+                ("Instruction", instruction),
+                ("Unknown", unknown_text),
+                ("Registration", self._clip(registration)),
+                ("Source Code of Relevant Functions", self._clip(code)),
+                ("Few-shot", IDENTIFIER_FEWSHOT if self._fewshot else ""),
+            ),
+        )
+
+    def type_prompt(
+        self,
+        subject: str,
+        *,
+        identifier: str,
+        code: str,
+        unknowns: list[UnknownItem] | None = None,
+    ) -> Prompt:
+        """Prompt for the type-recovery stage (§3.1.2)."""
+        instruction = (
+            f"Determine the argument type used by operation {identifier} and produce a "
+            "Syzkaller type description. Express semantic relationships between fields "
+            "(length fields, output fields, value ranges). If a nested type's definition "
+            "is not shown, list it in the UNKNOWN section."
+        )
+        unknown_text = "\n".join(item.render() for item in (unknowns or [])) or "(none)"
+        return Prompt(
+            kind="type",
+            subject=subject,
+            text=self._sections(
+                ("Instruction", instruction),
+                ("Operation", f"- IDENT: {identifier}"),
+                ("Unknown", unknown_text),
+                ("Source Code of Relevant Functions", self._clip(code)),
+                ("Few-shot", TYPE_FEWSHOT if self._fewshot else ""),
+            ),
+        )
+
+    def dependency_prompt(self, subject: str, *, code: str) -> Prompt:
+        """Prompt for the dependency-analysis stage (§3.1.3)."""
+        instruction = (
+            "Determine whether any of these operations create a new resource (for example "
+            "a file descriptor returned through anon_inode_getfd) that other operation "
+            "handlers consume. List newly discovered handlers in the UNKNOWN section."
+        )
+        return Prompt(
+            kind="dependency",
+            subject=subject,
+            text=self._sections(
+                ("Instruction", instruction),
+                ("Source Code of Relevant Functions", self._clip(code)),
+                ("Few-shot", DEPENDENCY_FEWSHOT if self._fewshot else ""),
+            ),
+        )
+
+    def repair_prompt(self, subject: str, *, description: str, errors: str, code: str) -> Prompt:
+        """Prompt for the validation-and-repair phase (§3.2)."""
+        instruction = (
+            "The following Syzkaller description failed validation. Use the error messages "
+            "and the kernel source code to produce a corrected description."
+        )
+        return Prompt(
+            kind="repair",
+            subject=subject,
+            text=self._sections(
+                ("Instruction", instruction),
+                ("Invalid Description", description),
+                ("Error Messages", errors),
+                ("Relevant Source Code", self._clip(code)),
+                ("Few-shot", REPAIR_FEWSHOT if self._fewshot else ""),
+            ),
+        )
+
+    def all_in_one_prompt(self, subject: str, *, kind: str, registration: str, code: str) -> Prompt:
+        """Single-shot prompt used by the §5.2.3 iterative-vs-all-in-one ablation."""
+        instruction = (
+            "Analyse all of the following kernel source code at once and produce the complete "
+            "Syzkaller specification (device path, every command identifier, argument types and "
+            "dependencies) in a single reply."
+        )
+        return Prompt(
+            kind="all-in-one",
+            subject=subject,
+            text=self._sections(
+                ("Instruction", instruction),
+                ("Registration", self._clip(registration)),
+                ("Source Code", self._clip(code)),
+                ("Few-shot", (IDENTIFIER_FEWSHOT + TYPE_FEWSHOT) if self._fewshot else ""),
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Reply parsing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParsedReply:
+    """Structured view of a completion."""
+
+    device_path: str | None = None
+    socket_family: str | None = None
+    socket_type: int | None = None
+    socket_protocol: int | None = None
+    identifiers: list[dict] = field(default_factory=list)
+    argtypes: list[dict] = field(default_factory=list)
+    typedefs: list[tuple[str, str]] = field(default_factory=list)
+    dependencies: list[dict] = field(default_factory=list)
+    unknowns: list[UnknownItem] = field(default_factory=list)
+    repaired_text: str = ""
+
+
+_SECTION_RE = re.compile(r"^##\s+(?P<name>[A-Z\- ]+)\s*$")
+_RECORD_RE = re.compile(r"^-\s+(?P<body>.+)$")
+
+
+def _parse_record(body: str) -> dict:
+    record: dict = {}
+    for chunk in body.split("|"):
+        if ":" not in chunk:
+            continue
+        key, _, value = chunk.partition(":")
+        record[key.strip().upper()] = value.strip()
+    return record
+
+
+def parse_reply(text: str) -> ParsedReply:
+    """Parse a completion into a :class:`ParsedReply`.
+
+    Unknown sections and malformed records are skipped rather than rejected —
+    the pipeline treats an unparsable reply as an empty one and lets
+    validation/repair handle the consequences, mirroring how KernelGPT copes
+    with occasional LLM formatting slips.
+    """
+    reply = ParsedReply()
+    current: str | None = None
+    typedef_lines: list[str] = []
+    typedef_name: str | None = None
+    repaired_lines: list[str] = []
+
+    def _flush_typedef() -> None:
+        nonlocal typedef_name, typedef_lines
+        if typedef_name is not None and typedef_lines:
+            reply.typedefs.append((typedef_name, "\n".join(typedef_lines).strip()))
+        typedef_name = None
+        typedef_lines = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        section_match = _SECTION_RE.match(line.strip())
+        if section_match:
+            _flush_typedef()
+            current = section_match.group("name").strip().upper()
+            continue
+        if not line.strip() or line.strip() == "(none)":
+            continue
+        if current == "TYPEDEF":
+            stripped = line.strip()
+            open_match = re.match(r"^(?P<name>\w+)\s*[{\[]\s*$", stripped)
+            if open_match and typedef_name is None:
+                typedef_name = open_match.group("name")
+                typedef_lines = [stripped]
+            elif typedef_name is not None:
+                typedef_lines.append(raw_line)
+                if stripped.startswith("}") or stripped.startswith("]"):
+                    _flush_typedef()
+            continue
+        if current == "REPAIRED":
+            repaired_lines.append(raw_line)
+            continue
+        record_match = _RECORD_RE.match(line.strip())
+        if not record_match:
+            continue
+        record = _parse_record(record_match.group("body"))
+        if current == "DEVICE" and "PATH" in record:
+            reply.device_path = record["PATH"]
+        elif current == "SOCKET":
+            reply.socket_family = record.get("FAMILY", reply.socket_family)
+            if "TYPE" in record and record["TYPE"].isdigit():
+                reply.socket_type = int(record["TYPE"])
+            if "PROTO" in record and record["PROTO"].lstrip("-").isdigit():
+                reply.socket_protocol = int(record["PROTO"])
+        elif current == "IDENTIFIERS":
+            reply.identifiers.append(record)
+        elif current == "ARGTYPE":
+            reply.argtypes.append(record)
+        elif current == "DEPENDENCY":
+            reply.dependencies.append(record)
+        elif current == "UNKNOWN":
+            for kind in ("FUNC", "STRUCT", "HANDLER", "TABLE"):
+                if kind in record:
+                    reply.unknowns.append(
+                        UnknownItem(kind=kind.lower(), name=record[kind], usage=record.get("USAGE", ""))
+                    )
+                    break
+    _flush_typedef()
+    reply.repaired_text = "\n".join(repaired_lines).strip()
+    return reply
+
+
+__all__ = [
+    "PromptLibrary",
+    "UnknownItem",
+    "ParsedReply",
+    "parse_reply",
+    "IDENTIFIER_FEWSHOT",
+    "TYPE_FEWSHOT",
+    "DEPENDENCY_FEWSHOT",
+    "REPAIR_FEWSHOT",
+]

@@ -1,0 +1,61 @@
+"""Deterministic test backends: scripted replies and request recording."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import LLMProtocolError
+from .backend import Completion, LLMBackend, Prompt
+
+
+class ReplayBackend(LLMBackend):
+    """Returns canned completions, matched by prompt kind (in order).
+
+    Useful in unit tests that exercise the pipeline's control flow without
+    depending on the oracle's analysis.  Replies are consumed FIFO per kind;
+    running out of scripted replies raises ``LLMProtocolError``.
+    """
+
+    def __init__(self, replies: dict[str, list[str]] | None = None, *, default: str | None = None):
+        super().__init__(model="replay")
+        self._replies = {kind: list(items) for kind, items in (replies or {}).items()}
+        self._default = default
+
+    def add_reply(self, kind: str, text: str) -> None:
+        self._replies.setdefault(kind, []).append(text)
+
+    def complete(self, prompt: Prompt) -> Completion:
+        queue = self._replies.get(prompt.kind)
+        if queue:
+            return Completion(text=queue.pop(0), model=self.model)
+        if self._default is not None:
+            return Completion(text=self._default, model=self.model)
+        raise LLMProtocolError(f"no scripted reply for prompt kind {prompt.kind!r}")
+
+
+@dataclass
+class RecordedExchange:
+    """One prompt/completion pair captured by :class:`RecordingBackend`."""
+
+    prompt: Prompt
+    completion: Completion
+
+
+class RecordingBackend(LLMBackend):
+    """Wraps another backend and records every exchange (for inspection/tests)."""
+
+    def __init__(self, inner: LLMBackend):
+        super().__init__(model=f"recording({inner.model})")
+        self._inner = inner
+        self.exchanges: list[RecordedExchange] = []
+
+    def complete(self, prompt: Prompt) -> Completion:
+        completion = self._inner.query(prompt)
+        self.exchanges.append(RecordedExchange(prompt=prompt, completion=completion))
+        return completion
+
+    def prompts_of_kind(self, kind: str) -> list[Prompt]:
+        return [exchange.prompt for exchange in self.exchanges if exchange.prompt.kind == kind]
+
+
+__all__ = ["ReplayBackend", "RecordingBackend", "RecordedExchange"]

@@ -1,0 +1,94 @@
+"""Syzlang: the specification language subsystem.
+
+This package models Syzkaller's description language — the types, resources,
+struct/union definitions and syscall descriptions that tell a fuzzer how to
+build valid syscall sequences — together with a parser, a serializer, a
+validator (the stand-in for ``syz-extract``/``syz-generate``) and corpus
+management utilities.
+"""
+
+from .ast import (
+    FlagsDef,
+    Param,
+    ResourceDef,
+    SpecSuite,
+    StructDef,
+    Syscall,
+    UnionDef,
+)
+from .constants import BUILTIN_CONSTANTS, ConstantTable
+from .corpus import HandlerCoverage, MissingSpecsReport, SpecCorpus, missing_specs_report
+from .parser import parse_field, parse_suite, parse_syscall, parse_type
+from .serializer import serialize_suite, serialize_syscall
+from .types import (
+    ArrayType,
+    BufferType,
+    ConstType,
+    Field,
+    FilenameType,
+    FlagsType,
+    IntType,
+    LenType,
+    NamedTypeRef,
+    PtrType,
+    ResourceRef,
+    StringType,
+    TypeExpr,
+    VoidType,
+)
+from .validator import (
+    ErrorCode,
+    Severity,
+    SpecValidator,
+    ValidationIssue,
+    ValidationReport,
+    validate_suite,
+)
+
+__all__ = [
+    # ast
+    "SpecSuite",
+    "Syscall",
+    "Param",
+    "ResourceDef",
+    "FlagsDef",
+    "StructDef",
+    "UnionDef",
+    # types
+    "TypeExpr",
+    "IntType",
+    "ConstType",
+    "FlagsType",
+    "StringType",
+    "FilenameType",
+    "PtrType",
+    "ArrayType",
+    "LenType",
+    "ResourceRef",
+    "NamedTypeRef",
+    "VoidType",
+    "BufferType",
+    "Field",
+    # parsing / serialization
+    "parse_type",
+    "parse_field",
+    "parse_syscall",
+    "parse_suite",
+    "serialize_suite",
+    "serialize_syscall",
+    # validation
+    "SpecValidator",
+    "ValidationReport",
+    "ValidationIssue",
+    "ErrorCode",
+    "Severity",
+    "validate_suite",
+    # constants
+    "ConstantTable",
+    "BUILTIN_CONSTANTS",
+    # corpus
+    "SpecCorpus",
+    "HandlerCoverage",
+    "MissingSpecsReport",
+    "missing_specs_report",
+]

@@ -1,0 +1,200 @@
+"""Spec corpus management and coverage/missing-spec accounting.
+
+The paper's Table 1 and Figure 7 are computed by comparing, per operation
+handler, the set of syscalls the kernel actually implements (ground truth,
+known exactly for the synthetic kernel) against the set of syscalls the
+existing Syzkaller corpus describes.  This module provides:
+
+* :class:`SpecCorpus` — a named collection of per-handler spec suites that
+  can be merged into one flat suite for fuzzing;
+* :class:`HandlerCoverage` — the missing-spec accounting for one handler;
+* :func:`missing_specs_report` — the scan behind Table 1 / Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import SyzlangError
+from .ast import SpecSuite
+
+
+class SpecCorpus:
+    """A collection of specification suites keyed by operation-handler name.
+
+    A corpus is how the library models "the Syzkaller repository": one suite
+    per described driver/socket handler.  Generators produce corpora too, so
+    merging "Syzkaller + KernelGPT" is a corpus-level operation.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._suites: dict[str, SpecSuite] = {}
+
+    def add(self, handler_name: str, suite: SpecSuite, *, replace_existing: bool = False) -> None:
+        """Register ``suite`` as the descriptions for ``handler_name``."""
+        if handler_name in self._suites and not replace_existing:
+            raise SyzlangError(f"corpus {self.name!r} already has specs for {handler_name!r}")
+        self._suites[handler_name] = suite
+
+    def get(self, handler_name: str) -> SpecSuite | None:
+        return self._suites.get(handler_name)
+
+    def handlers(self) -> tuple[str, ...]:
+        return tuple(sorted(self._suites))
+
+    def __contains__(self, handler_name: str) -> bool:
+        return handler_name in self._suites
+
+    def __len__(self) -> int:
+        return len(self._suites)
+
+    def __iter__(self) -> Iterator[tuple[str, SpecSuite]]:
+        return iter(sorted(self._suites.items()))
+
+    def flatten(self, name: str | None = None) -> SpecSuite:
+        """Merge every per-handler suite into one suite for fuzzing."""
+        merged = SpecSuite(name or self.name)
+        for _, suite in self:
+            merged = merged.merge(suite)
+        merged.name = name or self.name
+        return merged
+
+    def merge_corpus(self, other: "SpecCorpus", *, prefer: str = "self") -> "SpecCorpus":
+        """Combine two corpora handler-by-handler (suites merge on overlap)."""
+        merged = SpecCorpus(f"{self.name}+{other.name}")
+        for handler, suite in self:
+            merged.add(handler, suite)
+        for handler, suite in other:
+            if handler in merged:
+                merged._suites[handler] = merged._suites[handler].merge(suite, prefer=prefer)
+            else:
+                merged.add(handler, suite)
+        return merged
+
+    def total_syscalls(self) -> int:
+        return sum(len(suite) for _, suite in self)
+
+    def total_types(self) -> int:
+        return sum(suite.stats()["types"] for _, suite in self)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "handlers": len(self),
+            "syscalls": self.total_syscalls(),
+            "types": self.total_types(),
+        }
+
+
+@dataclass(frozen=True)
+class HandlerCoverage:
+    """Missing-spec accounting for one operation handler.
+
+    ``implemented`` is the set of syscall interfaces (ground-truth operation
+    names, e.g. ``ioctl$DM_DEV_CREATE``) the handler's kernel code supports;
+    ``described`` is the subset covered by the corpus being measured.
+    """
+
+    handler: str
+    kind: str
+    implemented: tuple[str, ...]
+    described: tuple[str, ...]
+
+    @property
+    def missing(self) -> tuple[str, ...]:
+        described = set(self.described)
+        return tuple(name for name in self.implemented if name not in described)
+
+    @property
+    def missing_fraction(self) -> float:
+        """Fraction of implemented syscalls with no description (0.0 – 1.0)."""
+        if not self.implemented:
+            return 0.0
+        return len(self.missing) / len(self.implemented)
+
+    @property
+    def is_incomplete(self) -> bool:
+        """True when at least one implemented syscall has no description."""
+        return bool(self.missing)
+
+    @property
+    def is_undescribed(self) -> bool:
+        """True when the corpus has *no* description at all for this handler."""
+        return not self.described
+
+
+@dataclass
+class MissingSpecsReport:
+    """The outcome of scanning a corpus against ground-truth handler interfaces."""
+
+    corpus_name: str
+    coverages: list[HandlerCoverage] = field(default_factory=list)
+
+    def incomplete(self, kind: str | None = None) -> list[HandlerCoverage]:
+        return [
+            cov
+            for cov in self.coverages
+            if cov.is_incomplete and (kind is None or cov.kind == kind)
+        ]
+
+    def undescribed(self, kind: str | None = None) -> list[HandlerCoverage]:
+        return [
+            cov
+            for cov in self.coverages
+            if cov.is_undescribed and (kind is None or cov.kind == kind)
+        ]
+
+    def of_kind(self, kind: str) -> list[HandlerCoverage]:
+        return [cov for cov in self.coverages if cov.kind == kind]
+
+    def histogram(self, kind: str, bins: int = 10) -> list[int]:
+        """Return Figure 7's histogram: handler counts per missing-percentage bin.
+
+        Only handlers that are missing at least one description are counted,
+        matching the paper's "Missing ... Specs Distribution" plots.
+        """
+        counts = [0] * bins
+        for cov in self.incomplete(kind):
+            fraction = cov.missing_fraction
+            index = min(int(fraction * bins), bins - 1)
+            counts[index] += 1
+        return counts
+
+
+def missing_specs_report(
+    corpus_name: str,
+    ground_truth: Mapping[str, tuple[str, tuple[str, ...]]],
+    described: Mapping[str, Iterable[str]],
+) -> MissingSpecsReport:
+    """Compare ground-truth handler interfaces against a corpus's descriptions.
+
+    Parameters
+    ----------
+    corpus_name:
+        Label for the corpus being measured (used in reports).
+    ground_truth:
+        Mapping ``handler name -> (kind, implemented syscall interface names)``.
+    described:
+        Mapping ``handler name -> described syscall interface names``.
+    """
+    report = MissingSpecsReport(corpus_name=corpus_name)
+    for handler, (kind, implemented) in sorted(ground_truth.items()):
+        described_names = tuple(sorted(set(described.get(handler, ()))))
+        report.coverages.append(
+            HandlerCoverage(
+                handler=handler,
+                kind=kind,
+                implemented=tuple(implemented),
+                described=described_names,
+            )
+        )
+    return report
+
+
+__all__ = [
+    "SpecCorpus",
+    "HandlerCoverage",
+    "MissingSpecsReport",
+    "missing_specs_report",
+]

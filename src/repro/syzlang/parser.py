@@ -1,0 +1,306 @@
+"""Parser for syzlang specification text.
+
+The parser accepts the subset of syzlang emitted by this library's
+serializer, by the KernelGPT pipeline, and by the hand-written example specs
+(Figure 3 of the paper).  It is line-oriented, mirroring the real syzlang
+grammar:
+
+* ``resource NAME[kind]`` lines declare resources
+* ``NAME = CONST1, CONST2`` lines declare flag sets
+* ``NAME { ... }`` blocks declare structs, ``NAME [ ... ]`` blocks unions
+* ``name$variant(param type, ...) ret`` lines declare syscalls
+* ``#`` starts a comment; comments directly above a syscall become its
+  provenance comment
+
+The corresponding inverse operation lives in :mod:`repro.syzlang.serializer`;
+round-tripping a suite through ``serialize`` then ``parse_suite`` yields an
+equivalent suite (property-tested in the test suite).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import SyzlangParseError
+from .ast import FlagsDef, Param, ResourceDef, SpecSuite, StructDef, Syscall, UnionDef
+from .types import (
+    ArrayType,
+    BufferType,
+    ConstType,
+    Field,
+    FilenameType,
+    FlagsType,
+    IntType,
+    LenType,
+    PtrType,
+    ResourceRef,
+    StringType,
+    TypeExpr,
+    VoidType,
+    type_from_simple_name,
+    INT_WIDTHS,
+)
+
+_RESOURCE_RE = re.compile(r"^resource\s+(?P<name>\w+)\s*\[\s*(?P<kind>\w+)\s*\](?:\s*:\s*(?P<values>.+))?$")
+_FLAGS_RE = re.compile(r"^(?P<name>\w+)\s*=\s*(?P<values>[\w\s,]+)$")
+_STRUCT_OPEN_RE = re.compile(r"^(?P<name>\w+)\s*(?P<brace>[{\[])\s*$")
+_STRUCT_CLOSE_RE = re.compile(r"^[}\]]\s*(\[packed\])?\s*$")
+_SYSCALL_RE = re.compile(
+    r"^(?P<name>\w+)(?:\$(?P<variant>\w+))?\s*\((?P<params>.*)\)\s*(?P<ret>\w+)?\s*$"
+)
+_FIELD_ATTR_RE = re.compile(r"^(?P<body>.*?)\s*\((?P<attrs>[\w\s,]+)\)\s*$")
+
+
+def parse_type(text: str) -> TypeExpr:
+    """Parse a single syzlang type expression such as ``ptr[inout, dm_ioctl]``."""
+    text = text.strip()
+    if not text:
+        raise SyzlangParseError("empty type expression")
+    if "[" not in text:
+        return _parse_bare_type(text)
+    head, _, rest = text.partition("[")
+    head = head.strip()
+    if not rest.endswith("]"):
+        raise SyzlangParseError("unbalanced brackets in type expression", snippet=text)
+    inner = rest[:-1]
+    args = _split_args(inner)
+    return _parse_bracketed_type(head, args, text)
+
+
+def _parse_bare_type(text: str) -> TypeExpr:
+    if re.fullmatch(r"\w+", text) is None:
+        raise SyzlangParseError("malformed type expression", snippet=text)
+    return type_from_simple_name(text)
+
+
+def _parse_bracketed_type(head: str, args: list[str], original: str) -> TypeExpr:
+    if head in INT_WIDTHS:
+        return _parse_ranged_int(head, args, original)
+    if head == "const":
+        return _parse_const(args, original)
+    if head == "flags":
+        return _parse_flags(args, original)
+    if head == "string":
+        values = tuple(_strip_quotes(arg) for arg in args)
+        return StringType(values)
+    if head == "ptr":
+        if len(args) != 2:
+            raise SyzlangParseError("ptr[] takes a direction and a type", snippet=original)
+        return PtrType(args[0].strip(), parse_type(args[1]))
+    if head == "array":
+        return _parse_array(args, original)
+    if head == "len":
+        if len(args) not in (1, 2):
+            raise SyzlangParseError("len[] takes a target and optional width", snippet=original)
+        width = args[1].strip() if len(args) == 2 else "int32"
+        return LenType(args[0].strip(), width)
+    if head == "buffer":
+        if len(args) != 1:
+            raise SyzlangParseError("buffer[] takes a direction", snippet=original)
+        return BufferType(args[0].strip())
+    raise SyzlangParseError(f"unknown type constructor {head!r}", snippet=original)
+
+
+def _parse_ranged_int(width: str, args: list[str], original: str) -> IntType:
+    if len(args) != 1 or ":" not in args[0]:
+        raise SyzlangParseError("integer range must look like int32[lo:hi]", snippet=original)
+    low_text, _, high_text = args[0].partition(":")
+    try:
+        return IntType(width, int(low_text, 0), int(high_text, 0))
+    except ValueError as exc:
+        raise SyzlangParseError(f"bad integer range: {exc}", snippet=original) from None
+
+
+def _parse_const(args: list[str], original: str) -> ConstType:
+    if len(args) not in (1, 2):
+        raise SyzlangParseError("const[] takes a value and optional width", snippet=original)
+    raw = args[0].strip()
+    width = args[1].strip() if len(args) == 2 else "int32"
+    value: int | str
+    try:
+        value = int(raw, 0)
+    except ValueError:
+        value = raw
+    return ConstType(value, width)
+
+
+def _parse_flags(args: list[str], original: str) -> FlagsType:
+    if len(args) not in (1, 2):
+        raise SyzlangParseError("flags[] takes a name and optional width", snippet=original)
+    width = args[1].strip() if len(args) == 2 else "int32"
+    return FlagsType(args[0].strip(), width)
+
+
+def _parse_array(args: list[str], original: str) -> ArrayType:
+    if len(args) not in (1, 2):
+        raise SyzlangParseError("array[] takes a type and optional length", snippet=original)
+    elem = parse_type(args[0])
+    length = None
+    if len(args) == 2:
+        try:
+            length = int(args[1].strip(), 0)
+        except ValueError:
+            raise SyzlangParseError("array length must be an integer", snippet=original) from None
+    return ArrayType(elem, length)
+
+
+def _split_args(text: str) -> list[str]:
+    """Split comma-separated arguments, respecting nested brackets and quotes."""
+    args: list[str] = []
+    depth = 0
+    in_string = False
+    current: list[str] = []
+    for char in text:
+        if char == '"':
+            in_string = not in_string
+            current.append(char)
+        elif in_string:
+            current.append(char)
+        elif char == "[":
+            depth += 1
+            current.append(char)
+        elif char == "]":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        args.append(tail)
+    return args
+
+
+def _strip_quotes(text: str) -> str:
+    text = text.strip()
+    if len(text) >= 2 and text[0] == '"' and text[-1] == '"':
+        return text[1:-1]
+    return text
+
+
+def parse_field(text: str, *, line: int | None = None) -> Field:
+    """Parse one struct/union member line (``count len[devices, int32] (out)``)."""
+    text = text.strip()
+    attrs: tuple[str, ...] = ()
+    attr_match = _FIELD_ATTR_RE.match(text)
+    if attr_match:
+        text = attr_match.group("body").strip()
+        attrs = tuple(part.strip() for part in attr_match.group("attrs").split(",") if part.strip())
+    parts = text.split(None, 1)
+    if len(parts) != 2:
+        raise SyzlangParseError("struct field needs a name and a type", line=line, snippet=text)
+    name, type_text = parts
+    return Field(name=name, type=parse_type(type_text), attrs=attrs)
+
+
+def parse_syscall(text: str, *, line: int | None = None, comment: str = "") -> Syscall:
+    """Parse a single syscall description line."""
+    match = _SYSCALL_RE.match(text.strip())
+    if match is None:
+        raise SyzlangParseError("malformed syscall description", line=line, snippet=text)
+    params_text = match.group("params").strip()
+    params: list[Param] = []
+    if params_text:
+        for chunk in _split_args(params_text):
+            parts = chunk.split(None, 1)
+            if len(parts) != 2:
+                raise SyzlangParseError(
+                    "syscall parameter needs a name and a type", line=line, snippet=chunk
+                )
+            params.append(Param(name=parts[0], type=parse_type(parts[1])))
+    ret_name = match.group("ret")
+    returns = ResourceRef(ret_name) if ret_name else None
+    return Syscall(
+        name=match.group("name"),
+        variant=match.group("variant") or "",
+        params=tuple(params),
+        returns=returns,
+        comment=comment,
+    )
+
+
+def parse_suite(text: str, name: str = "parsed") -> SpecSuite:
+    """Parse a full syzlang document into a :class:`SpecSuite`."""
+    suite = SpecSuite(name)
+    lines = text.splitlines()
+    index = 0
+    pending_comment = ""
+    while index < len(lines):
+        raw = lines[index]
+        line_no = index + 1
+        stripped = raw.strip()
+        index += 1
+        if not stripped:
+            pending_comment = ""
+            continue
+        if stripped.startswith("#"):
+            pending_comment = stripped.lstrip("#").strip()
+            continue
+        resource_match = _RESOURCE_RE.match(stripped)
+        if resource_match:
+            values = ()
+            if resource_match.group("values"):
+                values = tuple(
+                    int(v.strip(), 0) for v in resource_match.group("values").split(",") if v.strip()
+                )
+            suite.add_resource(
+                ResourceDef(resource_match.group("name"), resource_match.group("kind"), values),
+                replace_existing=True,
+            )
+            pending_comment = ""
+            continue
+        struct_match = _STRUCT_OPEN_RE.match(stripped)
+        if struct_match:
+            index = _parse_block(suite, lines, index, struct_match, line_no)
+            pending_comment = ""
+            continue
+        if "(" in stripped and _SYSCALL_RE.match(stripped):
+            suite.add_syscall(
+                parse_syscall(stripped, line=line_no, comment=pending_comment),
+                replace_existing=True,
+            )
+            pending_comment = ""
+            continue
+        flags_match = _FLAGS_RE.match(stripped)
+        if flags_match:
+            values = tuple(v.strip() for v in flags_match.group("values").split(",") if v.strip())
+            suite.add_flags(FlagsDef(flags_match.group("name"), values), replace_existing=True)
+            pending_comment = ""
+            continue
+        raise SyzlangParseError("unrecognised syzlang construct", line=line_no, snippet=stripped)
+    return suite
+
+
+def _parse_block(
+    suite: SpecSuite,
+    lines: list[str],
+    index: int,
+    struct_match: re.Match,
+    open_line: int,
+) -> int:
+    """Parse the body of a struct/union block; return the next line index."""
+    name = struct_match.group("name")
+    is_union = struct_match.group("brace") == "["
+    fields: list[Field] = []
+    packed = False
+    while index < len(lines):
+        stripped = lines[index].strip()
+        line_no = index + 1
+        index += 1
+        if not stripped or stripped.startswith("#"):
+            continue
+        close_match = _STRUCT_CLOSE_RE.match(stripped)
+        if close_match:
+            packed = bool(close_match.group(1))
+            if is_union:
+                suite.add_union(UnionDef(name, tuple(fields)), replace_existing=True)
+            else:
+                suite.add_struct(StructDef(name, tuple(fields), packed=packed), replace_existing=True)
+            return index
+        fields.append(parse_field(stripped, line=line_no))
+    raise SyzlangParseError(f"unterminated definition block for {name!r}", line=open_line)
+
+
+__all__ = ["parse_type", "parse_field", "parse_syscall", "parse_suite"]

@@ -1,0 +1,70 @@
+"""Serialization of spec suites back to syzlang text.
+
+The serializer produces stable, human-readable output in the order Syzkaller
+conventionally uses: resources, then flag sets, then syscalls (grouped by the
+resource they operate on), then type definitions.  Readability of generated
+specifications is an explicit goal of the paper (§2.3 L-2), so the serializer
+keeps names, groups related syscalls together, and emits provenance comments.
+"""
+
+from __future__ import annotations
+
+from .ast import SpecSuite, Syscall
+
+
+def serialize_suite(suite: SpecSuite, *, header: bool = True) -> str:
+    """Render ``suite`` as a syzlang document.
+
+    Parameters
+    ----------
+    suite:
+        The suite to render.
+    header:
+        When True, include a comment header with the suite name and counts.
+    """
+    sections: list[str] = []
+    if header:
+        stats = suite.stats()
+        sections.append(
+            "\n".join(
+                [
+                    f"# Specification suite: {suite.name}",
+                    f"# syscalls={stats['syscalls']} types={stats['types']} resources={stats['resources']}",
+                ]
+            )
+        )
+    if suite.resources:
+        sections.append("\n".join(res.render() for res in _sorted(suite.resources)))
+    if suite.flags:
+        sections.append("\n".join(flag.render() for flag in _sorted(suite.flags)))
+    if suite.syscalls:
+        sections.append("\n".join(_render_syscalls(suite)))
+    type_defs = list(_sorted(suite.structs)) + list(_sorted(suite.unions))
+    if type_defs:
+        sections.append("\n\n".join(definition.render() for definition in type_defs))
+    return "\n\n".join(sections) + "\n"
+
+
+def serialize_syscall(syscall: Syscall) -> str:
+    """Render a single syscall description (including its comment, if any)."""
+    return syscall.render()
+
+
+def _render_syscalls(suite: SpecSuite) -> list[str]:
+    """Render syscalls grouped by the resource they consume, openat-style first."""
+
+    def sort_key(syscall: Syscall) -> tuple:
+        consumed = syscall.consumed_resources()
+        group = consumed[0] if consumed else (syscall.produced_resource() or "")
+        # Producers (openat/socket) come before consumers within each group.
+        producer_rank = 0 if syscall.produced_resource() else 1
+        return (group, producer_rank, syscall.full_name)
+
+    return [syscall.render() for syscall in sorted(suite, key=sort_key)]
+
+
+def _sorted(mapping):
+    return (mapping[name] for name in sorted(mapping))
+
+
+__all__ = ["serialize_suite", "serialize_syscall"]

@@ -1,0 +1,475 @@
+"""Validation of syzlang specification suites.
+
+This is the reproduction's stand-in for running ``syz-extract`` and
+``syz-generate`` (the paper §4 "Validation").  The validator performs the
+same classes of checks those tools perform:
+
+* **undefined-type** — a syscall or struct references a struct/union/resource
+  that is not defined anywhere in the suite;
+* **unknown-constant** — a ``const[NAME]`` or flag value does not resolve
+  against the kernel's constant table (wrong macro name);
+* **unmatched-resource** — a syscall consumes a resource no syscall in the
+  suite produces (broken inter-syscall dependency);
+* **bad-len-target** — a ``len[...]`` field names a sibling that does not
+  exist;
+* **unknown-syscall** — the base syscall name is not one the (simulated)
+  kernel ABI provides;
+* **empty-definition**, **recursive-type**, **duplicate-variant** and other
+  structural problems.
+
+Each problem becomes a :class:`ValidationIssue` carrying an error code, the
+offending definition, and a human-readable message; the repair stage
+(:mod:`repro.core.repair`) keys its few-shot prompts off the error code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from .ast import BUILTIN_RESOURCE_KINDS, KNOWN_SYSCALL_NAMES, SpecSuite, StructDef, Syscall, UnionDef
+from .constants import BUILTIN_CONSTANTS, ConstantTable
+from .types import (
+    ArrayType,
+    ConstType,
+    FlagsType,
+    LenType,
+    NamedTypeRef,
+    PtrType,
+    ResourceRef,
+    StringType,
+    TypeExpr,
+    walk_type,
+)
+
+
+class Severity(str, Enum):
+    """Severity of a validation finding."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+class ErrorCode(str, Enum):
+    """Stable identifiers for every class of validation problem."""
+
+    UNDEFINED_TYPE = "undefined-type"
+    UNKNOWN_CONSTANT = "unknown-constant"
+    UNKNOWN_FLAGS = "unknown-flags"
+    UNMATCHED_RESOURCE = "unmatched-resource"
+    UNDEFINED_RESOURCE = "undefined-resource"
+    BAD_LEN_TARGET = "bad-len-target"
+    UNKNOWN_SYSCALL = "unknown-syscall"
+    EMPTY_DEFINITION = "empty-definition"
+    RECURSIVE_TYPE = "recursive-type"
+    BAD_RESOURCE_KIND = "bad-resource-kind"
+    MISSING_FILENAME = "missing-filename"
+    DUPLICATE_FIELD = "duplicate-field"
+    UNUSED_DEFINITION = "unused-definition"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single validation finding.
+
+    Attributes
+    ----------
+    code:
+        Machine-readable error class (drives repair few-shot selection).
+    severity:
+        Whether the finding blocks acceptance of the suite.
+    subject:
+        Name of the syscall or type definition the finding is about.
+    message:
+        Human-readable explanation, phrased like the syz-tool error output.
+    """
+
+    code: ErrorCode
+    severity: Severity
+    subject: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.severity.value}: {self.subject}: {self.message} [{self.code.value}]"
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating one suite."""
+
+    suite_name: str
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity is Severity.WARNING]
+
+    @property
+    def is_valid(self) -> bool:
+        """True when no error-severity issue was found (warnings are allowed)."""
+        return not self.errors
+
+    def issues_for(self, subject: str) -> list[ValidationIssue]:
+        """Return the issues attached to a particular syscall or type name."""
+        return [issue for issue in self.issues if issue.subject == subject]
+
+    def subjects_with_errors(self) -> tuple[str, ...]:
+        return tuple(sorted({issue.subject for issue in self.errors}))
+
+    def render(self) -> str:
+        if not self.issues:
+            return f"{self.suite_name}: specification is valid"
+        lines = [f"{self.suite_name}: {len(self.errors)} error(s), {len(self.warnings)} warning(s)"]
+        lines.extend(issue.render() for issue in self.issues)
+        return "\n".join(lines)
+
+
+class SpecValidator:
+    """Validates spec suites against a kernel constant table.
+
+    Parameters
+    ----------
+    constants:
+        Macro table used to resolve ``const[NAME]`` and flag values.  The
+        builtin ABI constants are always consulted as a fallback.
+    known_syscalls:
+        Base syscall names the target ABI provides.
+    warn_unused:
+        Also emit warnings for type definitions no syscall references.
+    """
+
+    def __init__(
+        self,
+        constants: ConstantTable | None = None,
+        *,
+        known_syscalls: Iterable[str] = KNOWN_SYSCALL_NAMES,
+        warn_unused: bool = True,
+    ):
+        self._constants = constants or ConstantTable()
+        self._known_syscalls = frozenset(known_syscalls)
+        self._warn_unused = warn_unused
+
+    # ------------------------------------------------------------------ API
+    def validate(self, suite: SpecSuite) -> ValidationReport:
+        """Validate ``suite`` and return a full report."""
+        report = ValidationReport(suite_name=suite.name)
+        produced = suite.produced_resources()
+        referenced_defs: set[str] = set()
+
+        for syscall in suite:
+            self._check_syscall(suite, syscall, produced, report, referenced_defs)
+
+        for name, struct in suite.structs.items():
+            self._check_composite(suite, name, struct, report, referenced_defs)
+        for name, union in suite.unions.items():
+            self._check_composite(suite, name, union, report, referenced_defs)
+
+        for name, resource in suite.resources.items():
+            if resource.kind not in BUILTIN_RESOURCE_KINDS and not suite.has_definition(resource.kind):
+                report.issues.append(
+                    ValidationIssue(
+                        ErrorCode.BAD_RESOURCE_KIND,
+                        Severity.ERROR,
+                        name,
+                        f"resource kind {resource.kind!r} is not a builtin kind or defined resource",
+                    )
+                )
+
+        self._check_recursion(suite, report)
+
+        if self._warn_unused:
+            for name in sorted(set(suite.structs) | set(suite.unions)):
+                if name not in referenced_defs:
+                    report.issues.append(
+                        ValidationIssue(
+                            ErrorCode.UNUSED_DEFINITION,
+                            Severity.WARNING,
+                            name,
+                            "type definition is never referenced by a syscall",
+                        )
+                    )
+        return report
+
+    # -------------------------------------------------------------- details
+    def _check_syscall(
+        self,
+        suite: SpecSuite,
+        syscall: Syscall,
+        produced: set[str],
+        report: ValidationReport,
+        referenced_defs: set[str],
+    ) -> None:
+        subject = syscall.full_name
+        if syscall.name not in self._known_syscalls:
+            report.issues.append(
+                ValidationIssue(
+                    ErrorCode.UNKNOWN_SYSCALL,
+                    Severity.ERROR,
+                    subject,
+                    f"syscall {syscall.name!r} is not part of the target ABI",
+                )
+            )
+        if syscall.name == "openat" and not self._has_filename_arg(syscall):
+            report.issues.append(
+                ValidationIssue(
+                    ErrorCode.MISSING_FILENAME,
+                    Severity.WARNING,
+                    subject,
+                    "openat description has no string/filename argument for the device path",
+                )
+            )
+        for param in syscall.params:
+            for expr in walk_type(param.type):
+                self._check_expr(suite, subject, expr, produced, report, referenced_defs)
+        if syscall.returns is not None and syscall.returns.name not in suite.resources:
+            report.issues.append(
+                ValidationIssue(
+                    ErrorCode.UNDEFINED_RESOURCE,
+                    Severity.ERROR,
+                    subject,
+                    f"return resource {syscall.returns.name!r} is not declared",
+                )
+            )
+
+    def _check_expr(
+        self,
+        suite: SpecSuite,
+        subject: str,
+        expr: TypeExpr,
+        produced: set[str],
+        report: ValidationReport,
+        referenced_defs: set[str],
+    ) -> None:
+        if isinstance(expr, NamedTypeRef):
+            if suite.get_type_def(expr.name) is not None:
+                referenced_defs.add(expr.name)
+            elif expr.name in suite.resources:
+                self._check_resource_use(suite, subject, expr.name, produced, report)
+            else:
+                report.issues.append(
+                    ValidationIssue(
+                        ErrorCode.UNDEFINED_TYPE,
+                        Severity.ERROR,
+                        subject,
+                        f"type {expr.name!r} is not defined",
+                    )
+                )
+        elif isinstance(expr, ResourceRef):
+            if expr.name in suite.resources:
+                self._check_resource_use(suite, subject, expr.name, produced, report)
+            elif suite.get_type_def(expr.name) is not None:
+                referenced_defs.add(expr.name)
+            else:
+                report.issues.append(
+                    ValidationIssue(
+                        ErrorCode.UNDEFINED_RESOURCE,
+                        Severity.ERROR,
+                        subject,
+                        f"resource {expr.name!r} is not declared",
+                    )
+                )
+        elif isinstance(expr, ConstType):
+            if isinstance(expr.value, str) and not self._resolves(expr.value):
+                report.issues.append(
+                    ValidationIssue(
+                        ErrorCode.UNKNOWN_CONSTANT,
+                        Severity.ERROR,
+                        subject,
+                        f"constant {expr.value!r} cannot be resolved against kernel headers",
+                    )
+                )
+        elif isinstance(expr, FlagsType):
+            flags_def = suite.flags.get(expr.flags_name)
+            if flags_def is None:
+                report.issues.append(
+                    ValidationIssue(
+                        ErrorCode.UNKNOWN_FLAGS,
+                        Severity.ERROR,
+                        subject,
+                        f"flag set {expr.flags_name!r} is not defined",
+                    )
+                )
+            else:
+                for value in flags_def.values:
+                    if not self._resolves(value):
+                        report.issues.append(
+                            ValidationIssue(
+                                ErrorCode.UNKNOWN_CONSTANT,
+                                Severity.ERROR,
+                                expr.flags_name,
+                                f"flag value {value!r} cannot be resolved against kernel headers",
+                            )
+                        )
+
+    def _check_resource_use(
+        self,
+        suite: SpecSuite,
+        subject: str,
+        resource_name: str,
+        produced: set[str],
+        report: ValidationReport,
+    ) -> None:
+        if resource_name not in produced:
+            report.issues.append(
+                ValidationIssue(
+                    ErrorCode.UNMATCHED_RESOURCE,
+                    Severity.ERROR,
+                    subject,
+                    f"resource {resource_name!r} is consumed but no syscall in the suite produces it",
+                )
+            )
+
+    def _check_composite(
+        self,
+        suite: SpecSuite,
+        name: str,
+        definition: StructDef | UnionDef,
+        report: ValidationReport,
+        referenced_defs: set[str],
+    ) -> None:
+        if not definition.fields:
+            report.issues.append(
+                ValidationIssue(
+                    ErrorCode.EMPTY_DEFINITION,
+                    Severity.ERROR,
+                    name,
+                    "definition has no fields",
+                )
+            )
+            return
+        seen: set[str] = set()
+        field_names = set(definition.field_names())
+        for member in definition.fields:
+            if member.name in seen:
+                report.issues.append(
+                    ValidationIssue(
+                        ErrorCode.DUPLICATE_FIELD,
+                        Severity.ERROR,
+                        name,
+                        f"field {member.name!r} appears more than once",
+                    )
+                )
+            seen.add(member.name)
+            for expr in walk_type(member.type):
+                if isinstance(expr, LenType) and expr.target not in field_names:
+                    report.issues.append(
+                        ValidationIssue(
+                            ErrorCode.BAD_LEN_TARGET,
+                            Severity.ERROR,
+                            name,
+                            f"len[] target {expr.target!r} is not a field of {name!r}",
+                        )
+                    )
+                if isinstance(expr, (NamedTypeRef, ResourceRef)):
+                    target = expr.name
+                    if suite.get_type_def(target) is not None:
+                        referenced_defs.add(target)
+                    elif target in suite.resources:
+                        pass
+                    else:
+                        report.issues.append(
+                            ValidationIssue(
+                                ErrorCode.UNDEFINED_TYPE,
+                                Severity.ERROR,
+                                name,
+                                f"field {member.name!r} references undefined type {target!r}",
+                            )
+                        )
+                if isinstance(expr, ConstType) and isinstance(expr.value, str):
+                    if not self._resolves(expr.value):
+                        report.issues.append(
+                            ValidationIssue(
+                                ErrorCode.UNKNOWN_CONSTANT,
+                                Severity.ERROR,
+                                name,
+                                f"constant {expr.value!r} cannot be resolved against kernel headers",
+                            )
+                        )
+                if isinstance(expr, FlagsType) and expr.flags_name not in suite.flags:
+                    report.issues.append(
+                        ValidationIssue(
+                            ErrorCode.UNKNOWN_FLAGS,
+                            Severity.ERROR,
+                            name,
+                            f"field {member.name!r} references undefined flag set {expr.flags_name!r}",
+                        )
+                    )
+
+    def _check_recursion(self, suite: SpecSuite, report: ValidationReport) -> None:
+        """Flag struct definitions that contain themselves without pointer indirection."""
+        for name in list(suite.structs) + list(suite.unions):
+            if self._embeds_itself(suite, name, name, set(), through_pointer=False):
+                report.issues.append(
+                    ValidationIssue(
+                        ErrorCode.RECURSIVE_TYPE,
+                        Severity.ERROR,
+                        name,
+                        "type embeds itself without pointer indirection (infinite size)",
+                    )
+                )
+
+    def _embeds_itself(
+        self,
+        suite: SpecSuite,
+        root: str,
+        current: str,
+        visited: set[str],
+        *,
+        through_pointer: bool,
+    ) -> bool:
+        if current in visited:
+            return False
+        visited.add(current)
+        definition = suite.get_type_def(current)
+        if definition is None:
+            return False
+        for member in definition.fields:
+            for expr in self._direct_embeds(member.type):
+                if expr == root:
+                    return True
+                if self._embeds_itself(suite, root, expr, visited, through_pointer=False):
+                    return True
+        return False
+
+    @staticmethod
+    def _direct_embeds(expr: TypeExpr) -> list[str]:
+        """Return names embedded by value (not behind a pointer) in ``expr``."""
+        if isinstance(expr, NamedTypeRef):
+            return [expr.name]
+        if isinstance(expr, ArrayType):
+            return SpecValidator._direct_embeds(expr.elem)
+        # PtrType breaks the by-value embedding chain.
+        return []
+
+    def _resolves(self, name: str) -> bool:
+        return self._constants.has(name) or BUILTIN_CONSTANTS.has(name)
+
+    @staticmethod
+    def _has_filename_arg(syscall: Syscall) -> bool:
+        from .types import FilenameType
+
+        for param in syscall.params:
+            for expr in walk_type(param.type):
+                if isinstance(expr, (StringType, FilenameType)):
+                    return True
+        return False
+
+
+def validate_suite(suite: SpecSuite, constants: ConstantTable | None = None) -> ValidationReport:
+    """Convenience wrapper: validate ``suite`` with default settings."""
+    return SpecValidator(constants).validate(suite)
+
+
+__all__ = [
+    "Severity",
+    "ErrorCode",
+    "ValidationIssue",
+    "ValidationReport",
+    "SpecValidator",
+    "validate_suite",
+]

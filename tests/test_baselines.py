@@ -1,0 +1,46 @@
+"""Tests for the SyzDescribe and existing-Syzkaller baselines."""
+
+
+def test_syzdescribe_cannot_analyse_sockets(syzdescribe):
+    result = syzdescribe.analyze_handler("rds_proto_ops")
+    assert not result.valid and "socket" in result.reason
+
+
+def test_syzdescribe_fails_on_table_dispatch(syzdescribe):
+    result = syzdescribe.analyze_handler("dm_ctl_fops")
+    assert not result.valid
+
+
+def test_syzdescribe_wrong_device_name_for_nodename_driver(syzdescribe, extractor, small_kernel):
+    # Device mapper registers with .name = "device-mapper" but the real node is
+    # the .nodename ("/dev/mapper/control"); the static rule picks the wrong one.
+    info = extractor.handler("dm_ctl_fops")
+    inferred = syzdescribe._device_path(info.usage_snippets)
+    assert inferred == "/dev/device-mapper"
+    assert inferred != small_kernel.driver("device-mapper").device_path
+
+
+def test_syzdescribe_unreadable_names(syzdescribe):
+    result = syzdescribe.analyze_handler("kvm_fops")
+    assert result.valid
+    text = "\n".join(sorted(result.suite.syscall_names()))
+    assert "$1" in text or "$2" in text or "$3" in text or "$4" in text or "$5" in text or "$6" in text or "$7" in text or "$8" in text or "$9" in text
+    assert any(f.name.startswith("field_") for s in result.suite.structs.values() for f in s.fields)
+
+
+def test_syzkaller_corpus_truncates_to_described_counts(small_kernel, syzkaller_corpus):
+    suite = syzkaller_corpus.get("btrfs_control_fops")
+    assert suite is not None
+    # btrfs-control: only 1 of 5 ioctls is described upstream (plus openat).
+    assert len(suite) == 2
+
+
+def test_syzkaller_corpus_skips_undescribed_handlers(syzkaller_corpus):
+    assert syzkaller_corpus.get("dm_ctl_fops") is None
+    assert syzkaller_corpus.get("cec_devnode_fops") is None
+
+
+def test_syzkaller_corpus_suites_validate(small_kernel, syzkaller_corpus):
+    from repro.syzlang import validate_suite
+    for handler, suite in list(syzkaller_corpus)[:10]:
+        assert validate_suite(suite, small_kernel.constants).is_valid, handler

@@ -1,0 +1,84 @@
+"""End-to-end tests for the KernelGPT generation pipeline."""
+
+from repro.core import KernelGPT, select_target_handlers
+from repro.llm import OracleBackend, PromptLibrary
+from repro.syzlang import validate_suite
+
+
+def test_dm_spec_matches_paper_expectations(small_kernel, dm_result):
+    """The Figure 2d properties: right device node, right macros, typed arg."""
+    assert dm_result.valid
+    assert dm_result.device_path == "/dev/mapper/control"
+    names = set(dm_result.suite.syscall_names())
+    assert "ioctl$DM_LIST_DEVICES" in names
+    assert "ioctl$DM_DEV_CREATE" in names
+    listdev = dm_result.suite.get_syscall("ioctl$DM_LIST_DEVICES")
+    assert "DM_LIST_DEVICES" in listdev.params[1].type.render()
+    report = validate_suite(dm_result.suite, small_kernel.constants)
+    assert report.is_valid
+
+
+def test_dm_spec_covers_most_ground_truth_ops(small_kernel, dm_result):
+    truth_macros = {op.macro for op in small_kernel.driver("device-mapper").ops}
+    described = {s.variant for s in dm_result.suite if s.name == "ioctl"}
+    assert len(truth_macros & described) >= len(truth_macros) - 2
+
+
+def test_kvm_dependency_discovery(kvm_result):
+    """Secondary VM/VCPU handlers must be discovered through dependencies."""
+    assert kvm_result.valid
+    resources = set(kvm_result.suite.resources)
+    assert "fd_kvm_vm" in resources and "fd_kvm_vcpu" in resources
+    producers = [s for s in kvm_result.suite if s.produced_resource() == "fd_kvm_vm"]
+    assert producers and producers[0].name == "ioctl"
+    assert kvm_result.syscall_count > 40
+
+
+def test_socket_generation(rds_result):
+    assert rds_result.valid
+    assert rds_result.socket_family == "AF_RDS"
+    names = rds_result.suite.syscall_names()
+    assert any(name.startswith("setsockopt$") for name in names)
+    assert any(name.startswith("sendto$") for name in names)
+
+
+def test_generated_specs_use_readable_names(dm_result):
+    text = dm_result.suite_text()
+    assert "fd_dm_ctl" in text
+    assert "field_0" not in text
+
+
+def test_repair_loop_reports_rounds(kernelgpt):
+    result = kernelgpt.generate_for_handler("cec_devnode_fops")
+    assert result.valid
+    if not result.initially_valid:
+        assert result.repaired and result.repair_rounds_used >= 1
+
+
+def test_repair_disabled_keeps_invalid(small_kernel, extractor):
+    generator = KernelGPT(small_kernel, OracleBackend(), extractor=extractor, repair=False)
+    run = generator.generate_for_handlers([info.handler_name for info in extractor.handlers("driver")[:12]])
+    # Without repair at least one handler should remain invalid (the error
+    # model injects repairable mistakes at a calibrated rate).
+    assert any(not result.valid for result in run.results.values()) or all(
+        result.initially_valid for result in run.results.values()
+    )
+
+
+def test_all_in_one_is_worse_than_iterative(kernelgpt, kvm_result):
+    all_in_one = kernelgpt.generate_all_in_one("kvm_fops")
+    assert all_in_one.syscall_count < kvm_result.syscall_count
+
+
+def test_select_target_handlers(small_kernel, syzkaller_corpus):
+    selection = select_target_handlers(small_kernel, syzkaller_corpus)
+    assert "dm_ctl_fops" in selection.driver_handlers
+    assert all(handler not in selection.driver_handlers
+               for handler in ("fuse_fops",))  # fully described driver
+
+
+def test_fewshot_free_prompts_still_work(small_kernel, extractor):
+    generator = KernelGPT(small_kernel, OracleBackend(), extractor=extractor,
+                          prompts=PromptLibrary(fewshot=False))
+    result = generator.generate_for_handler("udmabuf_fops")
+    assert result.syscall_count >= 3

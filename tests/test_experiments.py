@@ -1,0 +1,64 @@
+"""Integration tests for the experiment harness (on the small kernel)."""
+
+import pytest
+
+from repro.experiments import (
+    EvaluationContext, quick, run_ablation_iterative, run_figure7, run_table1,
+    run_table2, run_correctness_audit,
+)
+
+
+@pytest.fixture(scope="module")
+def small_ctx(small_kernel):
+    config = quick().with_overrides(kernel_scale="small", per_driver_budget=200,
+                                    overall_budget=400, bug_budget=400, ablation_drivers=2)
+    return EvaluationContext(config, kernel=small_kernel)
+
+
+def test_table1_structure(small_ctx):
+    table = run_table1(small_ctx)
+    assert table.headers[0] == "Kind"
+    kinds = table.column("Kind")
+    assert kinds == ["Driver", "Socket", "Total"]
+    assert table.render().startswith("Table 1")
+
+
+def test_table1_kernelgpt_beats_syzdescribe(small_ctx):
+    table = run_table1(small_ctx)
+    total_row = table.row_for("Total")
+    syzdescribe_valid = int(total_row[3])
+    kernelgpt_valid = int(str(total_row[4]).split()[0])
+    assert kernelgpt_valid > syzdescribe_valid
+
+
+def test_table2_counts_positive(small_ctx):
+    table = run_table2(small_ctx)
+    total = table.row_for("Total")
+    assert int(total[3]) > 0 and int(total[4]) > 0
+
+
+def test_figure7_bins_sum_to_incomplete_handlers(small_ctx):
+    table = run_figure7(small_ctx)
+    report = small_ctx.selection.report
+    driver_total = sum(int(v) for v in table.column("# Driver handlers"))
+    assert driver_total == len(report.incomplete("driver"))
+
+
+def test_correctness_audit_reports_low_error_rates(small_ctx):
+    audit = run_correctness_audit(small_ctx)
+    assert audit.drivers_audited > 0
+    assert audit.wrong_identifiers <= audit.total_syscalls * 0.1
+
+
+def test_ablation_iterative_beats_all_in_one(small_ctx):
+    table = run_ablation_iterative(small_ctx, drivers=("kvm", "ppp"))
+    total = table.row_for("Total")
+    assert int(total[1]) >= int(total[4])
+
+
+def test_runner_cli_single_experiment(tmp_path, monkeypatch):
+    from repro.experiments import runner
+    # Exercise argument parsing and dispatch without the heavy experiments.
+    assert "table1" in runner.EXPERIMENTS
+    with pytest.raises(SystemExit):
+        runner.run_experiment("nope", None)

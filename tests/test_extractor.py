@@ -1,0 +1,88 @@
+"""Tests for the C-subset parser and the kernel extractor."""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.extractor import parse_translation_unit
+
+
+SAMPLE = '''
+#define FOO_CMD 0x42
+#define FOO_NAME "foo"
+
+struct foo_args {
+\t__u32 count;\t/* number of entries in data */
+\t__u64 data[];
+};
+
+static int foo_do(struct file *file, void __user *argp)
+{
+\tstruct foo_args params;
+\tif (copy_from_user(&params, argp, sizeof(struct foo_args)))
+\t\treturn -EFAULT;
+\treturn 0;
+}
+
+static long foo_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+\tvoid __user *argp = (void __user *)arg;
+
+\tswitch (cmd) {
+\tcase FOO_CMD:
+\t\treturn foo_do(file, argp);
+\tdefault:
+\t\treturn -ENOTTY;
+\t}
+}
+
+static const struct file_operations foo_fops = {
+\t.owner = THIS_MODULE,
+\t.unlocked_ioctl = foo_ioctl,
+};
+
+static struct miscdevice _foo_misc = {
+\t.name = "foo",
+\t.fops = &foo_fops,
+};
+'''
+
+
+def test_parse_translation_unit_indexes_everything():
+    unit = parse_translation_unit("drivers/foo.c", SAMPLE)
+    assert unit.macros["FOO_CMD"].int_value == 0x42
+    assert [f.name for f in unit.structs["foo_args"].fields] == ["count", "data"]
+    assert unit.structs["foo_args"].fields[1].is_flexible_array
+    assert "switch (cmd)" in unit.functions["foo_ioctl"].body
+    assert unit.initializers["foo_fops"].field_value("unlocked_ioctl") == "foo_ioctl"
+    assert "foo_do" in unit.functions["foo_ioctl"].calls()
+
+
+def test_extractor_discovers_handlers(extractor):
+    stats = extractor.stats()
+    assert stats["driver_handlers"] >= 35
+    assert stats["socket_handlers"] == 10
+    dm = extractor.handler("dm_ctl_fops")
+    assert dm.kind == "driver"
+    assert dm.ioctl_fn == "dm_ctl_ioctl"
+    assert any("miscdevice" in snippet for snippet in dm.usage_snippets)
+
+
+def test_extract_code_and_kinds(extractor):
+    assert "dm_ctl_ioctl" in extractor.extract_code("dm_ctl_ioctl")
+    assert extractor.definition_kind("dm_ctl_ioctl") == "function"
+    assert extractor.definition_kind("dm_ctl_fops") == "initializer"
+    with pytest.raises(ExtractionError):
+        extractor.extract_code("no_such_identifier_at_all")
+
+
+def test_extractor_constants_match_kernel(small_kernel, extractor):
+    table = extractor.constants()
+    dm = small_kernel.driver("device-mapper")
+    for op in dm.ops:
+        assert table.resolve(op.macro) == op.value
+
+
+def test_socket_handler_discovery(extractor):
+    rds = extractor.handler("rds_proto_ops")
+    members = dict(rds.syscall_fns)
+    assert "setsockopt" in members and "sendto" in members

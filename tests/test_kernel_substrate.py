@@ -1,0 +1,91 @@
+"""Tests for the synthetic kernel substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import (
+    DispatchStyle, DriverProfile, RegistrationStyle, build_driver_source,
+    driver_constants, ioc, ioc_nr, make_driver, reference_suite_for_driver,
+)
+from repro.syzlang import validate_suite, ConstantTable
+
+
+def test_ioc_encoding_round_trip():
+    value = ioc("inout", 0xAE, 5, 0x40)
+    assert ioc_nr(value) == 5
+    assert (value >> 8) & 0xFF == 0xAE
+
+
+def test_small_kernel_scan_counts(small_kernel):
+    stats = small_kernel.stats()
+    assert stats["drivers"] >= 35
+    assert stats["sockets"] == 10
+    assert stats["bugs"] == 24
+
+
+def test_device_resolution_numbered_nodes(small_kernel):
+    loop = small_kernel.resolve_device("/dev/loop3")
+    assert loop is not None and loop.name == "loop#"
+    assert small_kernel.resolve_device("/dev/definitely-not-there") is None
+
+
+def test_socket_resolution(small_kernel):
+    rds = small_kernel.socket("rds")
+    resolved = small_kernel.resolve_socket(rds.family_value, rds.sock_type, rds.protocol)
+    assert resolved is not None and resolved.name == "rds"
+
+
+def test_reference_suites_validate(small_kernel):
+    for name in ("device-mapper", "kvm", "cec", "rds", "mptcp"):
+        report = validate_suite(small_kernel.reference_suite(name), small_kernel.constants)
+        assert report.is_valid, f"{name}: {report.render()}"
+
+
+def test_dm_ground_truth_matches_paper_example(small_kernel):
+    dm = small_kernel.driver("device-mapper")
+    assert dm.device_path == "/dev/mapper/control"
+    assert dm.registration is RegistrationStyle.MISC_NODENAME
+    assert dm.op_by_macro("DM_LIST_DEVICES") is not None
+    source = small_kernel.source_text_for("dm_ctl_fops")
+    assert '.nodename = "mapper/control"' in source
+    assert "_IOC_NR" in source
+
+
+def test_kvm_secondary_handlers(small_kernel):
+    kvm = small_kernel.driver("kvm")
+    resources = {handler.resource for handler in kvm.secondary_handlers}
+    assert resources == {"kvm_vm", "kvm_vcpu"}
+    producers = [op.macro for op in kvm.all_ops() if op.produces]
+    assert "KVM_CREATE_VM" in producers
+
+
+def test_bug_sites_attached(small_kernel):
+    dm = small_kernel.driver("device-mapper")
+    bug_ops = [op for op in dm.ops if op.bug is not None]
+    assert len(bug_ops) == 3
+    assert {op.bug.bug_id for op in bug_ops} >= {"dm-kmalloc-ctl-ioctl"}
+
+
+def test_fuzz_config_excludes_gated_handlers(small_kernel):
+    config = small_kernel.fuzz_config()
+    assert config.loads(config_option="CONFIG_X", hardware_gated=True, debug_only=False) is False
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=30), st.sampled_from(list(DispatchStyle)), st.sampled_from(list(RegistrationStyle)))
+def test_property_factory_is_deterministic_and_consistent(num_ops, dispatch, registration):
+    """Any profile expands to consistent source/constants/reference artifacts."""
+    profile = DriverProfile(
+        name=f"prop{num_ops}", device_path=f"/dev/prop{num_ops}",
+        registration=registration, dispatch=dispatch, num_ops=num_ops,
+    )
+    first = make_driver(profile)
+    second = make_driver(profile)
+    assert [op.macro for op in first.ops] == [op.macro for op in second.ops]
+    assert len(first.ops) == num_ops
+    constants = driver_constants(first)
+    assert all(op.macro in constants for op in first.ops)
+    reference = reference_suite_for_driver(first)
+    assert validate_suite(reference, ConstantTable(constants)).is_valid
+    source = build_driver_source(first).render()
+    for op in first.ops:
+        assert op.macro in source

@@ -1,0 +1,120 @@
+"""Parser/serializer tests, including the round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SyzlangParseError
+from repro.syzlang import (
+    ArrayType, ConstType, IntType, LenType, Param, PtrType, ResourceDef, ResourceRef,
+    SpecSuite, StringType, StructDef, Syscall, Field,
+    parse_suite, parse_syscall, parse_type, serialize_suite,
+)
+
+MSM_SPEC = '''
+resource fd_msm[fd]
+resource msm_submitqueue_id[int32]
+
+msm_flags = MSM_A, MSM_B
+
+openat$msm(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/msm"]], flags const[O_RDWR, int32]) fd_msm
+ioctl$MSM_NEW(fd fd_msm, cmd const[MSM_NEW, int32], arg ptr[inout, drm_msm_submitqueue])
+
+drm_msm_submitqueue {
+\tflags flags[msm_flags, int32]
+\tprio int32[0:3]
+\tid msm_submitqueue_id (out)
+}
+'''
+
+
+def test_parse_type_nested_ptr():
+    expr = parse_type("ptr[in, array[int32, 3]]")
+    assert isinstance(expr, PtrType)
+    assert expr.render() == "ptr[in, array[int32, 3]]"
+
+
+def test_parse_type_const_macro():
+    expr = parse_type("const[DM_VERSION, int32]")
+    assert isinstance(expr, ConstType)
+    assert expr.value == "DM_VERSION"
+
+
+def test_parse_type_const_literal():
+    assert parse_type("const[0x10, int32]").value == 0x10
+
+
+def test_parse_type_errors_on_garbage():
+    with pytest.raises(SyzlangParseError):
+        parse_type("ptr[in")
+    with pytest.raises(SyzlangParseError):
+        parse_type("wibble[foo]")
+
+
+def test_parse_syscall_with_return():
+    syscall = parse_syscall('openat$dm(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/x"]]) fd_dm')
+    assert syscall.full_name == "openat$dm"
+    assert syscall.returns.name == "fd_dm"
+    assert len(syscall.params) == 2
+
+
+def test_parse_suite_full_document():
+    suite = parse_suite(MSM_SPEC, "msm")
+    assert set(suite.syscall_names()) == {"openat$msm", "ioctl$MSM_NEW"}
+    assert "drm_msm_submitqueue" in suite.structs
+    assert suite.resources["msm_submitqueue_id"].kind == "int32"
+    assert suite.flags["msm_flags"].values == ("MSM_A", "MSM_B")
+
+
+def test_round_trip_preserves_suite():
+    suite = parse_suite(MSM_SPEC, "msm")
+    text = serialize_suite(suite)
+    again = parse_suite(text, "msm2")
+    assert set(again.syscall_names()) == set(suite.syscall_names())
+    assert set(again.structs) == set(suite.structs)
+    assert again.structs["drm_msm_submitqueue"].render() == suite.structs["drm_msm_submitqueue"].render()
+
+
+_idents = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+_widths = st.sampled_from(["int8", "int16", "int32", "int64"])
+
+
+def _type_strategy():
+    base = st.one_of(
+        st.builds(IntType, _widths),
+        st.builds(ConstType, st.integers(min_value=0, max_value=2**31), _widths),
+        st.builds(StringType, st.tuples(st.sampled_from(["/dev/a", "/dev/bb"]))),
+    )
+    return st.one_of(
+        base,
+        st.builds(PtrType, st.sampled_from(["in", "out", "inout"]), base),
+        st.builds(ArrayType, base, st.one_of(st.none(), st.integers(min_value=0, max_value=16))),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(_idents, _type_strategy()), min_size=1, max_size=5, unique_by=lambda kv: kv[0]))
+def test_property_struct_round_trip(fields):
+    """Any struct the library can express survives serialize -> parse."""
+    suite = SpecSuite("prop")
+    suite.add_struct(StructDef("prop_struct", tuple(Field(name, expr) for name, expr in fields)))
+    suite.add_resource(ResourceDef("fd_prop", "fd"))
+    suite.add_syscall(
+        Syscall("ioctl", "PROP", (
+            Param("fd", ResourceRef("fd_prop")),
+            Param("arg", PtrType("in", parse_type("prop_struct"))),
+        ))
+    )
+    text = serialize_suite(suite)
+    again = parse_suite(text)
+    assert "prop_struct" in again.structs
+    original = suite.structs["prop_struct"]
+    parsed = again.structs["prop_struct"]
+    assert [f.name for f in parsed.fields] == [f.name for f in original.fields]
+    assert [f.type.render() for f in parsed.fields] == [f.type.render() for f in original.fields]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1), _widths)
+def test_property_const_round_trip(value, width):
+    expr = ConstType(value, width)
+    assert parse_type(expr.render()).render() == expr.render()

@@ -1,0 +1,101 @@
+"""Unit tests for syzlang type expressions."""
+
+import pytest
+
+from repro.syzlang import (
+    ArrayType, BufferType, ConstType, Field, FilenameType, FlagsType, IntType,
+    LenType, NamedTypeRef, PtrType, ResourceRef, StringType, VoidType,
+)
+from repro.syzlang.types import substitute_named_refs, type_from_simple_name, walk_type
+
+
+def test_int_render_plain():
+    assert IntType("int32").render() == "int32"
+
+
+def test_int_render_range():
+    assert IntType("int32", 0, 3).render() == "int32[0:3]"
+
+
+def test_int_rejects_bad_width():
+    with pytest.raises(ValueError):
+        IntType("int128")
+
+
+def test_int_rejects_inverted_range():
+    with pytest.raises(ValueError):
+        IntType("int32", 5, 1)
+
+
+def test_const_render_macro():
+    assert ConstType("DM_VERSION", "int32").render() == "const[DM_VERSION, int32]"
+
+
+def test_const_referenced_constants():
+    assert list(ConstType("DM_VERSION").referenced_constants()) == ["DM_VERSION"]
+    assert list(ConstType(7).referenced_constants()) == []
+
+
+def test_string_render_single_value():
+    assert StringType(("/dev/msm",)).render() == 'string["/dev/msm"]'
+
+
+def test_string_byte_size_includes_nul():
+    assert StringType(("/dev/msm",)).byte_size() == len("/dev/msm") + 1
+
+
+def test_ptr_requires_valid_direction():
+    with pytest.raises(ValueError):
+        PtrType("sideways", IntType())
+
+
+def test_ptr_render_nested():
+    expr = PtrType("inout", ArrayType(IntType("int8"), 4))
+    assert expr.render() == "ptr[inout, array[int8, 4]]"
+
+
+def test_array_byte_size_fixed():
+    assert ArrayType(IntType("int32"), 3).byte_size() == 12
+
+
+def test_len_render():
+    assert LenType("devices", "int32").render() == "len[devices, int32]"
+
+
+def test_flags_references_name():
+    assert list(FlagsType("dm_flags").referenced_names()) == ["dm_flags"]
+
+
+def test_named_ref_and_resource_ref_names():
+    assert list(NamedTypeRef("dm_ioctl").referenced_names()) == ["dm_ioctl"]
+    assert list(ResourceRef("fd_dm").referenced_names()) == ["fd_dm"]
+
+
+def test_walk_type_traverses_pointers_and_arrays():
+    expr = PtrType("in", ArrayType(NamedTypeRef("inner")))
+    names = [type(node).__name__ for node in walk_type(expr)]
+    assert names == ["PtrType", "ArrayType", "NamedTypeRef"]
+
+
+def test_substitute_named_refs():
+    expr = PtrType("in", NamedTypeRef("old"))
+    replaced = substitute_named_refs(expr, {"old": "new"})
+    assert replaced.render() == "ptr[in, new]"
+
+
+def test_type_from_simple_name():
+    assert isinstance(type_from_simple_name("int64"), IntType)
+    assert isinstance(type_from_simple_name("string"), StringType)
+    assert isinstance(type_from_simple_name("filename"), FilenameType)
+    assert isinstance(type_from_simple_name("void"), VoidType)
+    assert isinstance(type_from_simple_name("dm_ioctl"), NamedTypeRef)
+
+
+def test_field_render_with_attrs():
+    field = Field("id", IntType("int32"), ("out",))
+    assert field.render() == "id int32 (out)"
+
+
+def test_buffer_direction_validation():
+    with pytest.raises(ValueError):
+        BufferType("both")

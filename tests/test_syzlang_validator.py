@@ -1,0 +1,112 @@
+"""Validator and corpus accounting tests."""
+
+from repro.syzlang import (
+    ConstantTable, ErrorCode, SpecCorpus, parse_suite, validate_suite,
+    missing_specs_report,
+)
+
+CONSTS = ConstantTable({"GOOD_CMD": 0x1234, "FLAG_A": 1, "FLAG_B": 2})
+
+
+def _validate(text):
+    return validate_suite(parse_suite(text), CONSTS)
+
+
+def test_valid_minimal_suite():
+    report = _validate('''
+resource fd_x[fd]
+openat$x(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/x"]], flags const[O_RDWR, int32]) fd_x
+ioctl$GOOD(fd fd_x, cmd const[GOOD_CMD, int32], arg ptr[in, array[int8]])
+''')
+    assert report.is_valid
+
+
+def test_unknown_constant_detected():
+    report = _validate('''
+resource fd_x[fd]
+openat$x(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/x"]], flags const[O_RDWR, int32]) fd_x
+ioctl$BAD(fd fd_x, cmd const[NOT_A_MACRO, int32], arg const[0, int64])
+''')
+    assert not report.is_valid
+    assert ErrorCode.UNKNOWN_CONSTANT in {i.code for i in report.errors}
+
+
+def test_undefined_type_detected():
+    report = _validate('''
+resource fd_x[fd]
+openat$x(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/x"]], flags const[O_RDWR, int32]) fd_x
+ioctl$T(fd fd_x, cmd const[GOOD_CMD, int32], arg ptr[in, missing_struct])
+''')
+    assert ErrorCode.UNDEFINED_TYPE in {i.code for i in report.errors}
+
+
+def test_unmatched_resource_detected():
+    report = _validate('''
+resource fd_x[fd]
+ioctl$T(fd fd_x, cmd const[GOOD_CMD, int32], arg const[0, int64])
+''')
+    assert ErrorCode.UNMATCHED_RESOURCE in {i.code for i in report.errors}
+
+
+def test_out_param_resource_counts_as_produced():
+    report = _validate('''
+resource fd_x[fd]
+resource q_id[int32]
+openat$x(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/x"]], flags const[O_RDWR, int32]) fd_x
+ioctl$NEW(fd fd_x, cmd const[GOOD_CMD, int32], arg ptr[inout, q_args])
+ioctl$CLOSE(fd fd_x, cmd const[GOOD_CMD, int32], arg ptr[in, q_id])
+q_args {
+\tid q_id (out)
+}
+''')
+    assert report.is_valid, report.render()
+
+
+def test_bad_len_target_detected():
+    report = _validate('''
+resource fd_x[fd]
+openat$x(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/x"]], flags const[O_RDWR, int32]) fd_x
+ioctl$T(fd fd_x, cmd const[GOOD_CMD, int32], arg ptr[in, s])
+s {
+\tcount len[nonexistent, int32]
+\tdata array[int8, 4]
+}
+''')
+    assert ErrorCode.BAD_LEN_TARGET in {i.code for i in report.errors}
+
+
+def test_recursive_type_detected():
+    report = _validate('''
+resource fd_x[fd]
+openat$x(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/x"]], flags const[O_RDWR, int32]) fd_x
+ioctl$T(fd fd_x, cmd const[GOOD_CMD, int32], arg ptr[in, node])
+node {
+\tnext node
+}
+''')
+    assert ErrorCode.RECURSIVE_TYPE in {i.code for i in report.errors}
+
+
+def test_missing_specs_report_histogram():
+    ground_truth = {
+        "h1": ("driver", ("openat", "ioctl$A", "ioctl$B")),
+        "h2": ("driver", ("openat", "ioctl$C")),
+        "h3": ("socket", ("socket", "sendto")),
+    }
+    described = {"h1": ["openat", "ioctl$A"], "h3": []}
+    report = missing_specs_report("test", ground_truth, described)
+    assert len(report.incomplete("driver")) == 2
+    assert len(report.undescribed("driver")) == 1
+    hist = report.histogram("driver", bins=10)
+    assert sum(hist) == 2
+
+
+def test_corpus_merge_and_flatten():
+    corpus_a = SpecCorpus("a")
+    corpus_a.add("h1", parse_suite('resource fd_a[fd]\nopenat$a(file ptr[in, string["/dev/a"]]) fd_a'))
+    corpus_b = SpecCorpus("b")
+    corpus_b.add("h2", parse_suite('resource fd_b[fd]\nopenat$b(file ptr[in, string["/dev/b"]]) fd_b'))
+    merged = corpus_a.merge_corpus(corpus_b)
+    assert len(merged) == 2
+    flat = merged.flatten()
+    assert set(flat.syscall_names()) == {"openat$a", "openat$b"}
