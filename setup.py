@@ -1,11 +1,38 @@
-"""Setup shim.
+"""Package metadata and legacy-install shim.
 
 The offline environment has no ``wheel`` package, so PEP 660 editable
 installs (which need ``bdist_wheel``) cannot be built.  Keeping a setup.py
 lets ``pip install -e . --no-build-isolation`` (and plain
 ``python setup.py develop``) fall back to the legacy editable install path.
+
+The metadata lives here (rather than a pyproject table) for the same reason;
+it declares the ``src/`` layout and the ``kernelgpt-repro`` console script
+that :mod:`repro.experiments.runner` provides.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="kernelgpt-repro",
+    version="1.0.0",
+    description=(
+        "Pure-Python reproduction of KernelGPT (ASPLOS 2025): LLM-guided "
+        "syzlang specification generation, coverage-guided fuzzing, and the "
+        "paper's evaluation harness on a deterministic parallel engine."
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "kernelgpt-repro = repro.experiments.runner:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Security",
+        "Topic :: Software Development :: Testing",
+    ],
+)

@@ -38,15 +38,17 @@ def _extend_api() -> None:
     """
     global_api = globals()
     try:
+        from .engine import ExecutionEngine
         from .kernel import KernelCodebase, build_default_kernel
         from .extractor import KernelExtractor
         from .llm import DegradedBackend, OracleBackend, ReplayBackend
-        from .core import GenerationResult, KernelGPT
+        from .core import GenerationResult, GenerationSession, KernelGPT
         from .baselines import SyzDescribe, build_syzkaller_corpus
         from .fuzzer import FuzzCampaign, Fuzzer, KernelExecutor
     except ImportError:  # pragma: no cover - only during incremental builds
         return
     global_api.update(
+        ExecutionEngine=ExecutionEngine,
         build_default_kernel=build_default_kernel,
         KernelCodebase=KernelCodebase,
         KernelExtractor=KernelExtractor,
@@ -55,6 +57,7 @@ def _extend_api() -> None:
         ReplayBackend=ReplayBackend,
         KernelGPT=KernelGPT,
         GenerationResult=GenerationResult,
+        GenerationSession=GenerationSession,
         SyzDescribe=SyzDescribe,
         build_syzkaller_corpus=build_syzkaller_corpus,
         FuzzCampaign=FuzzCampaign,
@@ -63,6 +66,7 @@ def _extend_api() -> None:
     )
     global_api["__all__"].extend(
         [
+            "ExecutionEngine",
             "build_default_kernel",
             "KernelCodebase",
             "KernelExtractor",
@@ -71,6 +75,7 @@ def _extend_api() -> None:
             "ReplayBackend",
             "KernelGPT",
             "GenerationResult",
+            "GenerationSession",
             "SyzDescribe",
             "build_syzkaller_corpus",
             "FuzzCampaign",

@@ -3,11 +3,13 @@
 from .filtering import TargetSelection, described_interfaces, scan_missing_specs, select_target_handlers
 from .generator import DiscoveredOp, GenerationResult, GenerationRun, KernelGPT
 from .iterative import DEFAULT_MAX_ITERATIONS, IterationTrace, IterativeAnalyzer
+from .session import GenerationSession
 
 __all__ = [
     "KernelGPT",
     "GenerationResult",
     "GenerationRun",
+    "GenerationSession",
     "DiscoveredOp",
     "IterativeAnalyzer",
     "IterationTrace",

@@ -20,16 +20,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..engine import ExecutionEngine, TaskSpec, resolve_engine
 from ..errors import ExtractionError, GenerationError, SyzlangParseError
 from ..extractor import HandlerInfo, KernelExtractor
 from ..kernel import KernelCodebase
-from ..llm import LLMBackend, OracleBackend, ParsedReply, PromptLibrary, UnknownItem
+from ..llm import (
+    Completion,
+    LLMBackend,
+    OracleBackend,
+    Prompt,
+    PromptLibrary,
+    parse_reply,
+)
 from ..syzlang import (
     ArrayType,
     ConstType,
     ConstantTable,
     IntType,
     LenType,
+    NamedTypeRef,
     Param,
     PtrType,
     ResourceDef,
@@ -42,7 +51,8 @@ from ..syzlang import (
     parse_suite,
     serialize_suite,
 )
-from .iterative import DEFAULT_MAX_ITERATIONS, IterativeAnalyzer
+from .iterative import DEFAULT_MAX_ITERATIONS
+from .session import GenerationSession
 
 _GENERIC_WITH_VARIANT = ("ioctl", "setsockopt", "getsockopt")
 _MESSAGE_SYSCALLS = ("bind", "connect", "accept", "sendto", "recvfrom", "sendmsg", "recvmsg", "poll")
@@ -77,6 +87,8 @@ class GenerationResult:
     repaired: bool = False
     repair_rounds_used: int = 0
     queries: int = 0
+    input_tokens: int = 0
+    output_tokens: int = 0
     validation_report: ValidationReport | None = None
     ops: list[DiscoveredOp] = field(default_factory=list)
     mode: str = "iterative"
@@ -116,6 +128,22 @@ class GenerationRun:
         merged.name = name
         return merged
 
+    def usage_summary(self) -> dict:
+        """Session-attributed LLM usage summed over every result.
+
+        Unlike reading a shared backend's meter, these totals are derived
+        from the per-session counters, so they are identical however the run
+        was scheduled and whatever else shares the backend.
+        """
+        from ..llm import UsageMeter
+
+        meter = UsageMeter(
+            queries=sum(result.queries for result in self.results.values()),
+            input_tokens=sum(result.input_tokens for result in self.results.values()),
+            output_tokens=sum(result.output_tokens for result in self.results.values()),
+        )
+        return meter.summary()
+
 
 class KernelGPT:
     """The specification generator."""
@@ -130,6 +158,7 @@ class KernelGPT:
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         repair_rounds: int = 3,
         repair: bool = True,
+        engine: ExecutionEngine | None = None,
     ):
         self.kernel = kernel
         self.backend = backend or OracleBackend()
@@ -138,76 +167,121 @@ class KernelGPT:
         self.max_iterations = max_iterations
         self.repair_rounds = repair_rounds
         self.repair_enabled = repair
+        self.engine = engine
         self._constants = self.extractor.constants()
         self._validator = SpecValidator(self._constants, warn_unused=False)
-        self._analyzer = IterativeAnalyzer(self.backend, self.extractor, max_iterations=max_iterations)
-        # Typedef blocks produced by type-stage replies, keyed by struct name.
-        self._pending_typedefs: dict[str, str] = {}
+
+    # ----------------------------------------------------- engine plumbing
+    def query(self, prompt: Prompt) -> Completion:
+        """One LLM query, memoized by the engine's single-flight cache if present."""
+        if self.engine is not None:
+            return self.engine.cached_query(self.backend, prompt)
+        return self.backend.query(prompt)
+
+    def extract_code(self, identifier: str) -> str:
+        """One extractor lookup, memoized by the engine cache if present."""
+        if self.engine is not None:
+            return self.engine.cached_extract(self.extractor, identifier)
+        return self.extractor.extract_code(identifier)
+
+    def session(self, handler_name: str, *, engine: ExecutionEngine | None = None) -> GenerationSession:
+        """A fresh re-entrant per-handler session (see :mod:`repro.core.session`)."""
+        return GenerationSession(self, handler_name, engine=engine)
 
     # ------------------------------------------------------------------ API
-    def generate_for_handler(self, handler_name: str) -> GenerationResult:
-        """Generate, validate and (if needed) repair the spec for one handler."""
-        info = self.extractor.handler(handler_name)
-        queries_before = self.backend.usage.queries
-        name = self._readable_name(info)
-        self._pending_typedefs = {}
+    def generate_for_handler(
+        self, handler_name: str, *, engine: ExecutionEngine | None = None
+    ) -> GenerationResult:
+        """Generate, validate and (if needed) repair the spec for one handler.
 
-        ops, device_path, socket_identity = self._identifier_stage(info)
-        self._type_stage(info, ops)
-        typedefs = self._collect_typedefs(info, ops)
-        self._dependency_stage(info, ops)
-        secondary_ops, secondary_typedefs = self._analyze_secondary_handlers(info, ops)
-        ops.extend(secondary_ops)
-        typedefs.update(secondary_typedefs)
-
-        suite = self._assemble(info, name, ops, device_path, socket_identity, typedefs)
-        result = GenerationResult(
-            handler_name=handler_name,
-            kind=info.kind,
-            name=name,
-            suite=suite,
-            device_path=device_path,
-            socket_family=socket_identity[0] if socket_identity else None,
-            ops=ops,
+        With an engine (the instance's, or an explicit override) the whole
+        session is memoized: regenerating a handler this generator already
+        produced (the table 5/6 and ablation paths after a full generation
+        run) returns the cached result, and concurrent requests for the same
+        handler collapse into one session.
+        """
+        engine = engine or self.engine
+        if engine is None:
+            return self.session(handler_name).run()
+        key = (engine.token(self), "iterative", handler_name)
+        return engine.result_cache.get_or_compute(
+            key, lambda: self.session(handler_name, engine=engine).run()
         )
-        self._validate_and_repair(info, result)
-        result.queries = self.backend.usage.queries - queries_before
-        return result
 
-    def generate_for_handlers(self, handler_names: list[str]) -> GenerationRun:
-        """Generate specifications for many handlers (a full campaign)."""
+    def generate_for_handlers(
+        self,
+        handler_names: list[str],
+        *,
+        jobs: int = 1,
+        engine: ExecutionEngine | None = None,
+    ) -> GenerationRun:
+        """Generate specifications for many handlers (a full campaign).
+
+        Handlers fan out across the engine's executor (``jobs`` workers; an
+        explicit ``engine`` overrides both ``jobs`` and the instance engine).
+        Sessions are independent, so any schedule produces the same
+        :class:`GenerationRun`: results are keyed in ``handler_names`` order
+        and each handler's suite is byte-identical to a serial run.
+        """
+        engine = resolve_engine(engine or self.engine, jobs)
         run = GenerationRun()
-        for handler_name in handler_names:
-            try:
-                run.results[handler_name] = self.generate_for_handler(handler_name)
-            except (ExtractionError, GenerationError):
-                continue
+        if engine is None:
+            for handler_name in handler_names:
+                try:
+                    run.results[handler_name] = self.generate_for_handler(handler_name)
+                except (ExtractionError, GenerationError):
+                    continue
+            return run
+        tasks = [
+            TaskSpec(key=handler_name, fn=self._generate_or_none, args=(handler_name, engine))
+            for handler_name in handler_names
+        ]
+        for result in engine.run_tasks("generation", tasks):
+            if result.value is not None:
+                run.results[result.key] = result.value
         return run
 
-    def generate_all_in_one(self, handler_name: str) -> GenerationResult:
+    def _generate_or_none(
+        self, handler_name: str, engine: ExecutionEngine | None = None
+    ) -> GenerationResult | None:
+        try:
+            return self.generate_for_handler(handler_name, engine=engine)
+        except (ExtractionError, GenerationError):
+            return None
+
+    def generate_all_in_one(
+        self, handler_name: str, *, engine: ExecutionEngine | None = None
+    ) -> GenerationResult:
         """Single-prompt generation used by the §5.2.3 ablation."""
+        engine = engine or self.engine
+        if engine is None:
+            return self._all_in_one(handler_name, engine)
+        key = (engine.token(self), "all-in-one", handler_name)
+        return engine.result_cache.get_or_compute(
+            key, lambda: self._all_in_one(handler_name, engine)
+        )
+
+    def _all_in_one(self, handler_name: str, engine: ExecutionEngine | None) -> GenerationResult:
         info = self.extractor.handler(handler_name)
-        queries_before = self.backend.usage.queries
+        session = self.session(handler_name, engine=engine)
         name = self._readable_name(info)
         registration = self._registration_text(info)
         code_parts = [registration]
         if info.ioctl_fn and self.extractor.has_definition(info.ioctl_fn):
-            code_parts.append(self.extractor.extract_code(info.ioctl_fn))
+            code_parts.append(session.extract_code(info.ioctl_fn))
             # Include directly-referenced sub-handlers and structs, as far as
             # the prompt size allows; the point of the ablation is that this
             # is all the model gets.
             for called in self.extractor.function(info.ioctl_fn).calls():
                 if self.extractor.has_definition(called):
-                    code_parts.append(self.extractor.extract_code(called))
+                    code_parts.append(session.extract_code(called))
         for _, fn_name in info.syscall_fns:
             if self.extractor.has_definition(fn_name):
-                code_parts.append(self.extractor.extract_code(fn_name))
+                code_parts.append(session.extract_code(fn_name))
         prompt = self.prompts.all_in_one_prompt(
             handler_name, kind=info.kind, registration=registration, code="\n\n".join(code_parts)
         )
-        from ..llm import parse_reply
-
-        reply = parse_reply(self.backend.query(prompt).text)
+        reply = parse_reply(session.query(prompt).text)
         ops: list[DiscoveredOp] = []
         for record in reply.identifiers:
             ops.append(
@@ -238,141 +312,11 @@ class KernelGPT:
             ops=ops,
             mode="all-in-one",
         )
-        self._validate_and_repair(info, result)
-        result.queries = self.backend.usage.queries - queries_before
+        session.validate_and_repair(info, result)
+        result.queries = session.queries
+        result.input_tokens = session.input_tokens
+        result.output_tokens = session.output_tokens
         return result
-
-    # ------------------------------------------------------------ stage 1
-    def _identifier_stage(self, info: HandlerInfo) -> tuple[list[DiscoveredOp], str | None, tuple | None]:
-        registration = self._registration_text(info)
-        initial_code = self._dispatch_code(info)
-        ops: list[DiscoveredOp] = []
-        device_path: str | None = None
-        socket_identity: tuple | None = None
-        seen: set[tuple[str, str]] = set()
-
-        def on_reply(reply: ParsedReply) -> None:
-            nonlocal device_path, socket_identity
-            if reply.device_path and device_path is None:
-                device_path = reply.device_path
-            if reply.socket_family and socket_identity is None:
-                socket_identity = (reply.socket_family, reply.socket_type or 2, reply.socket_protocol or 0)
-            for record in reply.identifiers:
-                identifier = record.get("IDENT", "")
-                syscall = record.get("SYSCALL", "ioctl")
-                if not identifier or (identifier, syscall) in seen:
-                    continue
-                seen.add((identifier, syscall))
-                ops.append(
-                    DiscoveredOp(
-                        identifier=identifier,
-                        syscall=syscall,
-                        handler_fn=record.get("HANDLER"),
-                    )
-                )
-
-        self._analyzer.run(
-            lambda code, unknowns: self.prompts.identifier_prompt(
-                info.handler_name,
-                kind=info.kind,
-                registration=registration,
-                code=code,
-                unknowns=unknowns,
-            ),
-            initial_code=initial_code,
-            on_reply=on_reply,
-        )
-        return ops, device_path, socket_identity
-
-    # ------------------------------------------------------------ stage 2
-    def _type_stage(self, info: HandlerInfo, ops: list[DiscoveredOp]) -> None:
-        for op in ops:
-            if op.syscall in ("poll", "accept"):
-                op.arg_type = "none"
-                continue
-            code = self._op_code(info, op)
-            if not code:
-                op.arg_type = "none"
-                continue
-
-            def on_reply(reply: ParsedReply, op=op) -> None:
-                for record in reply.argtypes:
-                    if record.get("IDENT") in (op.identifier, None):
-                        op.arg_type = record.get("TYPE") or op.arg_type
-                        op.direction = record.get("DIR", op.direction)
-                for struct_name, text in reply.typedefs:
-                    self._pending_typedefs[struct_name] = text
-
-            self._analyzer.run(
-                lambda code_text, unknowns, op=op: self.prompts.type_prompt(
-                    info.handler_name,
-                    identifier=op.identifier,
-                    code=code_text,
-                    unknowns=unknowns,
-                ),
-                initial_code=code,
-                on_reply=on_reply,
-            )
-
-    def _collect_typedefs(self, info: HandlerInfo, ops: list[DiscoveredOp]) -> dict[str, str]:
-        """Snapshot the typedef blocks accumulated during the type stage."""
-        return dict(self._pending_typedefs)
-
-    # ------------------------------------------------------------ stage 3
-    def _dependency_stage(self, info: HandlerInfo, ops: list[DiscoveredOp]) -> None:
-        blocks: list[str] = []
-        for op in ops:
-            if not op.handler_fn or not self.extractor.has_definition(op.handler_fn):
-                continue
-            blocks.append(f"/* operation: {op.identifier} */\n{self.extractor.extract_code(op.handler_fn)}")
-        if not blocks:
-            return
-        from ..llm import parse_reply
-
-        prompt = self.prompts.dependency_prompt(info.handler_name, code="\n\n".join(blocks))
-        reply = parse_reply(self.backend.query(prompt).text)
-        for record in reply.dependencies:
-            identifier = record.get("IDENT", "")
-            for op in ops:
-                if op.identifier == identifier:
-                    op.produces = record.get("PRODUCES")
-                    op.produces_handler = record.get("HANDLER")
-
-    def _analyze_secondary_handlers(
-        self, info: HandlerInfo, ops: list[DiscoveredOp], *, depth: int = 0
-    ) -> tuple[list[DiscoveredOp], dict[str, str]]:
-        """Analyse handlers reached through produced resources (e.g. KVM VM fds).
-
-        Recurses (bounded by the iteration limit) so chains like
-        ``/dev/kvm → VM fd → VCPU fd`` are fully discovered.
-        """
-        secondary_ops: list[DiscoveredOp] = []
-        typedefs: dict[str, str] = {}
-        if depth >= self.max_iterations:
-            return secondary_ops, typedefs
-        for op in ops:
-            if not op.produces or not op.produces_handler:
-                continue
-            try:
-                secondary_info = self.extractor.handler(op.produces_handler)
-            except ExtractionError:
-                continue
-            saved_typedefs = dict(self._pending_typedefs)
-            self._pending_typedefs = {}
-            new_ops, _, _ = self._identifier_stage(secondary_info)
-            self._type_stage(secondary_info, new_ops)
-            self._dependency_stage(secondary_info, new_ops)
-            typedefs.update(self._pending_typedefs)
-            self._pending_typedefs = saved_typedefs
-            for new_op in new_ops:
-                new_op.consumes = op.produces
-            nested_ops, nested_typedefs = self._analyze_secondary_handlers(
-                secondary_info, new_ops, depth=depth + 1
-            )
-            secondary_ops.extend(new_ops)
-            secondary_ops.extend(nested_ops)
-            typedefs.update(nested_typedefs)
-        return secondary_ops, typedefs
 
     # ------------------------------------------------------------ assembly
     def _assemble(
@@ -516,54 +460,15 @@ class KernelGPT:
             return ConstType(0, "int64")
         if op.arg_type == "scalar":
             return IntType("int64")
-        from ..syzlang import NamedTypeRef
-
         direction = op.direction if op.direction in ("in", "out", "inout") else "in"
         return PtrType(direction, NamedTypeRef(op.arg_type))
 
     def _payload_expr(self, op: DiscoveredOp):
-        from ..syzlang import NamedTypeRef
-
         if op.arg_type in (None, "none", "scalar"):
             return ArrayType(IntType("int8"))
         return NamedTypeRef(op.arg_type)
 
     # --------------------------------------------------- validation + repair
-    def _validate_and_repair(self, info: HandlerInfo, result: GenerationResult) -> None:
-        report = self._validator.validate(result.suite)
-        result.initially_valid = report.is_valid
-        result.validation_report = report
-        result.valid = report.is_valid
-        if report.is_valid or not self.repair_enabled:
-            return
-
-        context = self._repair_context(info)
-        for round_index in range(1, self.repair_rounds + 1):
-            result.repair_rounds_used = round_index
-            changed = False
-            for subject in report.subjects_with_errors():
-                description = self._describe_subject(result.suite, subject)
-                errors = "\n".join(issue.render() for issue in report.issues_for(subject))
-                prompt = self.prompts.repair_prompt(
-                    info.handler_name, description=description, errors=errors, code=context
-                )
-                from ..llm import parse_reply
-
-                reply = parse_reply(self.backend.query(prompt).text)
-                if not reply.repaired_text:
-                    continue
-                if self._apply_repair(result.suite, reply.repaired_text, original_subject=subject):
-                    changed = True
-            report = self._validator.validate(result.suite)
-            result.validation_report = report
-            if report.is_valid:
-                result.valid = True
-                result.repaired = True
-                return
-            if not changed:
-                break
-        result.valid = report.is_valid
-
     def _repair_context(self, info: HandlerInfo) -> str:
         """Macro definitions and struct sources from the handler's file."""
         unit = self.extractor.translation_unit(info.file)
@@ -613,30 +518,32 @@ class KernelGPT:
         parts.extend(info.usage_snippets)
         return "\n\n".join(part for part in parts if part)
 
-    def _dispatch_code(self, info: HandlerInfo) -> str:
+    def _dispatch_code(self, info: HandlerInfo, *, extract=None) -> str:
+        extract = extract or self.extract_code
         parts: list[str] = []
         if info.ioctl_fn and self.extractor.has_definition(info.ioctl_fn):
-            parts.append(self.extractor.extract_code(info.ioctl_fn))
+            parts.append(extract(info.ioctl_fn))
         for _, fn_name in info.syscall_fns:
             if self.extractor.has_definition(fn_name):
-                parts.append(self.extractor.extract_code(fn_name))
+                parts.append(extract(fn_name))
         if info.kind == "socket":
             parts.insert(0, info.initializer_text)
         return "\n\n".join(parts) if parts else info.initializer_text
 
-    def _op_code(self, info: HandlerInfo, op: DiscoveredOp) -> str:
+    def _op_code(self, info: HandlerInfo, op: DiscoveredOp, *, extract=None) -> str:
+        extract = extract or self.extract_code
         if op.handler_fn and self.extractor.has_definition(op.handler_fn):
-            return self.extractor.extract_code(op.handler_fn)
+            return extract(op.handler_fn)
         # Socket options: the dispatch function contains the per-option logic.
         for member, fn_name in info.syscall_fns:
             if member == op.syscall and self.extractor.has_definition(fn_name):
-                return self.extractor.extract_code(fn_name)
+                return extract(fn_name)
         if op.syscall in ("setsockopt", "getsockopt"):
             candidate = f"{info.handler_name.removesuffix('_proto_ops')}_{op.syscall}"
             if self.extractor.has_definition(candidate):
-                return self.extractor.extract_code(candidate)
+                return extract(candidate)
         if info.ioctl_fn and self.extractor.has_definition(info.ioctl_fn):
-            return self.extractor.extract_code(info.ioctl_fn)
+            return extract(info.ioctl_fn)
         return ""
 
     @staticmethod

@@ -35,17 +35,28 @@ class IterationTrace:
 
 
 class IterativeAnalyzer:
-    """Runs the Analyze() loop of Algorithm 1 for one stage."""
+    """Runs the Analyze() loop of Algorithm 1 for one stage.
+
+    ``backend`` is anything with a ``query(prompt) -> Completion`` method —
+    an :class:`~repro.llm.LLMBackend` or a per-handler
+    :class:`~repro.core.session.GenerationSession` (which attributes queries
+    to itself and routes them through the engine's memo cache).  ``extract``
+    optionally overrides the ``ExtractCode`` lookup, e.g. with the engine's
+    memoized variant; it must raise :class:`ExtractionError` like the
+    extractor does.
+    """
 
     def __init__(
         self,
-        backend: LLMBackend,
+        backend: "LLMBackend",
         extractor: KernelExtractor,
         *,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        extract: Callable[[str], str] | None = None,
     ):
         self._backend = backend
         self._extractor = extractor
+        self._extract = extract or extractor.extract_code
         self._max_iterations = max_iterations
 
     def run(
@@ -82,7 +93,7 @@ class IterativeAnalyzer:
             for item in pending:
                 extracted.add(item.name)
                 try:
-                    additions.append(self._extractor.extract_code(item.name))
+                    additions.append(self._extract(item.name))
                     trace.resolved_unknowns.append(item.name)
                 except ExtractionError:
                     trace.unresolved_unknowns.append(item.name)

@@ -1,0 +1,289 @@
+"""Re-entrant per-handler generation sessions.
+
+Historically :class:`~repro.core.generator.KernelGPT` kept the per-handler
+mutable state on itself — the ``_pending_typedefs`` accumulator and the
+``backend.usage.queries`` before/after delta used to attribute query counts —
+which made ``generate_for_handlers`` inherently serial: two in-flight
+handlers would trample each other's typedefs and mis-attribute queries.
+
+:class:`GenerationSession` extracts exactly that state.  One session == one
+handler's pipeline run: it owns the typedef accumulator, counts the queries
+*it* issues (cache hits included, so attribution is independent of whatever
+an engine-level memo cache absorbed), and carries its own
+:class:`~repro.core.iterative.IterativeAnalyzer`.  The owning
+:class:`KernelGPT` keeps only immutable, shareable collaborators (extractor,
+prompt library, validator, constants), so any number of sessions can run
+concurrently and still produce byte-identical suites.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+from ..errors import ExtractionError
+from ..extractor import HandlerInfo
+from ..llm import Completion, ParsedReply, Prompt, parse_reply
+from .iterative import IterativeAnalyzer
+
+
+class GenerationSession:
+    """All mutable state for generating one handler's specification.
+
+    ``engine`` overrides the owning generator's engine for this session —
+    the fan-out path uses it so that a ``jobs=N`` run on an engine-less
+    generator still memoizes through the engine doing the scheduling.
+    """
+
+    def __init__(self, gpt, handler_name: str, *, engine=None):
+        self.gpt = gpt
+        self.engine = engine if engine is not None else gpt.engine
+        self.handler_name = handler_name
+        #: Usage issued by this session (the per-result attribution the
+        #: old ``usage.queries`` before/after delta provided, made local).
+        #: Cache hits count too: attribution reflects what the session asked
+        #: for, independent of what an engine-level memo cache absorbed.
+        self.queries = 0
+        self.input_tokens = 0
+        self.output_tokens = 0
+        #: Typedef blocks produced by type-stage replies, keyed by struct name.
+        self.pending_typedefs: dict[str, str] = {}
+        self.analyzer = IterativeAnalyzer(
+            self,
+            gpt.extractor,
+            max_iterations=gpt.max_iterations,
+            extract=self.extract_code,
+        )
+
+    # ------------------------------------------------------- backend facade
+    def query(self, prompt: Prompt) -> Completion:
+        """Issue one LLM query, attributed to this session."""
+        self.queries += 1
+        self.input_tokens += prompt.approximate_tokens()
+        if self.engine is not None:
+            completion = self.engine.cached_query(self.gpt.backend, prompt)
+        else:
+            completion = self.gpt.backend.query(prompt)
+        self.output_tokens += completion.approximate_tokens()
+        return completion
+
+    def parse_query(self, prompt: Prompt) -> ParsedReply:
+        return parse_reply(self.query(prompt).text)
+
+    def extract_code(self, identifier: str) -> str:
+        """One extractor lookup, memoized by the session's engine if present."""
+        if self.engine is not None:
+            return self.engine.cached_extract(self.gpt.extractor, identifier)
+        return self.gpt.extractor.extract_code(identifier)
+
+    def _measure(self, stage: str):
+        if self.engine is None:
+            return nullcontext()
+        return self.engine.profile.measure(f"generation/{stage}")
+
+    # ---------------------------------------------------------------- stages
+    def run(self):
+        """Run the full three-stage pipeline + validation/repair."""
+        gpt = self.gpt
+        info = gpt.extractor.handler(self.handler_name)
+        name = gpt._readable_name(info)
+
+        with self._measure("identifier"):
+            ops, device_path, socket_identity = self.identifier_stage(info)
+        with self._measure("type"):
+            self.type_stage(info, ops)
+        typedefs = dict(self.pending_typedefs)
+        with self._measure("dependency"):
+            self.dependency_stage(info, ops)
+        with self._measure("secondary"):
+            secondary_ops, secondary_typedefs = self.analyze_secondary_handlers(info, ops)
+        ops.extend(secondary_ops)
+        typedefs.update(secondary_typedefs)
+
+        suite = gpt._assemble(info, name, ops, device_path, socket_identity, typedefs)
+        from .generator import GenerationResult
+
+        result = GenerationResult(
+            handler_name=self.handler_name,
+            kind=info.kind,
+            name=name,
+            suite=suite,
+            device_path=device_path,
+            socket_family=socket_identity[0] if socket_identity else None,
+            ops=ops,
+        )
+        with self._measure("repair"):
+            self.validate_and_repair(info, result)
+        result.queries = self.queries
+        result.input_tokens = self.input_tokens
+        result.output_tokens = self.output_tokens
+        return result
+
+    # ------------------------------------------------------------ stage 1
+    def identifier_stage(self, info: HandlerInfo):
+        from .generator import DiscoveredOp
+
+        gpt = self.gpt
+        registration = gpt._registration_text(info)
+        initial_code = gpt._dispatch_code(info, extract=self.extract_code)
+        ops: list[DiscoveredOp] = []
+        device_path: str | None = None
+        socket_identity: tuple | None = None
+        seen: set[tuple[str, str]] = set()
+
+        def on_reply(reply: ParsedReply) -> None:
+            nonlocal device_path, socket_identity
+            if reply.device_path and device_path is None:
+                device_path = reply.device_path
+            if reply.socket_family and socket_identity is None:
+                socket_identity = (reply.socket_family, reply.socket_type or 2, reply.socket_protocol or 0)
+            for record in reply.identifiers:
+                identifier = record.get("IDENT", "")
+                syscall = record.get("SYSCALL", "ioctl")
+                if not identifier or (identifier, syscall) in seen:
+                    continue
+                seen.add((identifier, syscall))
+                ops.append(
+                    DiscoveredOp(
+                        identifier=identifier,
+                        syscall=syscall,
+                        handler_fn=record.get("HANDLER"),
+                    )
+                )
+
+        self.analyzer.run(
+            lambda code, unknowns: gpt.prompts.identifier_prompt(
+                info.handler_name,
+                kind=info.kind,
+                registration=registration,
+                code=code,
+                unknowns=unknowns,
+            ),
+            initial_code=initial_code,
+            on_reply=on_reply,
+        )
+        return ops, device_path, socket_identity
+
+    # ------------------------------------------------------------ stage 2
+    def type_stage(self, info: HandlerInfo, ops) -> None:
+        gpt = self.gpt
+        for op in ops:
+            if op.syscall in ("poll", "accept"):
+                op.arg_type = "none"
+                continue
+            code = gpt._op_code(info, op, extract=self.extract_code)
+            if not code:
+                op.arg_type = "none"
+                continue
+
+            def on_reply(reply: ParsedReply, op=op) -> None:
+                for record in reply.argtypes:
+                    if record.get("IDENT") in (op.identifier, None):
+                        op.arg_type = record.get("TYPE") or op.arg_type
+                        op.direction = record.get("DIR", op.direction)
+                for struct_name, text in reply.typedefs:
+                    self.pending_typedefs[struct_name] = text
+
+            self.analyzer.run(
+                lambda code_text, unknowns, op=op: gpt.prompts.type_prompt(
+                    info.handler_name,
+                    identifier=op.identifier,
+                    code=code_text,
+                    unknowns=unknowns,
+                ),
+                initial_code=code,
+                on_reply=on_reply,
+            )
+
+    # ------------------------------------------------------------ stage 3
+    def dependency_stage(self, info: HandlerInfo, ops) -> None:
+        gpt = self.gpt
+        blocks: list[str] = []
+        for op in ops:
+            if not op.handler_fn or not gpt.extractor.has_definition(op.handler_fn):
+                continue
+            blocks.append(f"/* operation: {op.identifier} */\n{self.extract_code(op.handler_fn)}")
+        if not blocks:
+            return
+        prompt = gpt.prompts.dependency_prompt(info.handler_name, code="\n\n".join(blocks))
+        reply = self.parse_query(prompt)
+        for record in reply.dependencies:
+            identifier = record.get("IDENT", "")
+            for op in ops:
+                if op.identifier == identifier:
+                    op.produces = record.get("PRODUCES")
+                    op.produces_handler = record.get("HANDLER")
+
+    def analyze_secondary_handlers(self, info: HandlerInfo, ops, *, depth: int = 0):
+        """Analyse handlers reached through produced resources (e.g. KVM VM fds).
+
+        Recurses (bounded by the iteration limit) so chains like
+        ``/dev/kvm → VM fd → VCPU fd`` are fully discovered.
+        """
+        from .generator import DiscoveredOp
+
+        gpt = self.gpt
+        secondary_ops: list[DiscoveredOp] = []
+        typedefs: dict[str, str] = {}
+        if depth >= gpt.max_iterations:
+            return secondary_ops, typedefs
+        for op in ops:
+            if not op.produces or not op.produces_handler:
+                continue
+            try:
+                secondary_info = gpt.extractor.handler(op.produces_handler)
+            except ExtractionError:
+                continue
+            saved_typedefs = dict(self.pending_typedefs)
+            self.pending_typedefs = {}
+            new_ops, _, _ = self.identifier_stage(secondary_info)
+            self.type_stage(secondary_info, new_ops)
+            self.dependency_stage(secondary_info, new_ops)
+            typedefs.update(self.pending_typedefs)
+            self.pending_typedefs = saved_typedefs
+            for new_op in new_ops:
+                new_op.consumes = op.produces
+            nested_ops, nested_typedefs = self.analyze_secondary_handlers(
+                secondary_info, new_ops, depth=depth + 1
+            )
+            secondary_ops.extend(new_ops)
+            secondary_ops.extend(nested_ops)
+            typedefs.update(nested_typedefs)
+        return secondary_ops, typedefs
+
+    # --------------------------------------------------- validation + repair
+    def validate_and_repair(self, info: HandlerInfo, result) -> None:
+        gpt = self.gpt
+        report = gpt._validator.validate(result.suite)
+        result.initially_valid = report.is_valid
+        result.validation_report = report
+        result.valid = report.is_valid
+        if report.is_valid or not gpt.repair_enabled:
+            return
+
+        context = gpt._repair_context(info)
+        for round_index in range(1, gpt.repair_rounds + 1):
+            result.repair_rounds_used = round_index
+            changed = False
+            for subject in report.subjects_with_errors():
+                description = gpt._describe_subject(result.suite, subject)
+                errors = "\n".join(issue.render() for issue in report.issues_for(subject))
+                prompt = gpt.prompts.repair_prompt(
+                    info.handler_name, description=description, errors=errors, code=context
+                )
+                reply = self.parse_query(prompt)
+                if not reply.repaired_text:
+                    continue
+                if gpt._apply_repair(result.suite, reply.repaired_text, original_subject=subject):
+                    changed = True
+            report = gpt._validator.validate(result.suite)
+            result.validation_report = report
+            if report.is_valid:
+                result.valid = True
+                result.repaired = True
+                return
+            if not changed:
+                break
+        result.valid = report.is_valid
+
+
+__all__ = ["GenerationSession"]

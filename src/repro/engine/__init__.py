@@ -1,0 +1,42 @@
+"""Deterministic parallel task-execution engine.
+
+The engine is the repository's one scheduling substrate: task specs with
+per-task seeds, pluggable serial/thread/process executors behind a ``jobs``
+knob, single-flight memo caches (extractor lookups, LLM queries) with
+hit/miss statistics, and per-stage wall-time instrumentation.  The layers
+above — spec generation (``repro.core``), fuzz campaigns (``repro.fuzzer``)
+and the experiment runner (``repro.experiments``) — all fan their work
+through it; results are always returned in submission order, which is the
+invariant that makes ``jobs=1`` and ``jobs=N`` runs byte-identical.
+"""
+
+from .cache import CacheStats, MemoCache
+from .engine import ExecutionEngine, resolve_engine
+from .executors import (
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    create_executor,
+    execute_task,
+)
+from .profile import EngineProfile, StageStats
+from .tasks import TaskResult, TaskSpec, derive_seed
+
+__all__ = [
+    "ExecutionEngine",
+    "resolve_engine",
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "create_executor",
+    "execute_task",
+    "MemoCache",
+    "CacheStats",
+    "EngineProfile",
+    "StageStats",
+    "TaskSpec",
+    "TaskResult",
+    "derive_seed",
+]

@@ -1,0 +1,144 @@
+"""The deterministic task-execution engine.
+
+:class:`ExecutionEngine` is the one scheduler every layer above fans work
+through: spec generation fans out per-handler sessions, the fuzzer fans out
+per-seed campaigns, and the experiment runner fans out whole tables.  It
+bundles
+
+* an :class:`~repro.engine.executors.Executor` chosen by the ``jobs`` knob
+  (serial, thread pool or process pool);
+* two single-flight memo caches — ``extract_cache`` for extractor lookups
+  and ``llm_cache`` for LLM queries — plus a ``result_cache`` for whole
+  generation sessions, all with hit/miss statistics;
+* an :class:`~repro.engine.profile.EngineProfile` collecting per-stage wall
+  times.
+
+The engine is deliberately agnostic about *what* runs: tasks are plain
+callables, and results always come back in submission order so callers can
+rebuild deterministic aggregates no matter how the schedule interleaved.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from .cache import MemoCache
+from .executors import Executor, create_executor
+from .profile import EngineProfile
+from .tasks import TaskResult, TaskSpec
+
+
+class ExecutionEngine:
+    """Deterministic scheduler + memoization + instrumentation."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        kind: str = "thread",
+        executor: Executor | None = None,
+    ):
+        self.jobs = max(1, jobs)
+        self.executor = executor or create_executor(self.jobs, kind)
+        self.extract_cache = MemoCache("extract")
+        self.llm_cache = MemoCache("llm")
+        #: Whole generation sessions, keyed by (generator, mode, handler) —
+        #: regenerating a handler the run already produced (table 5/6, the
+        #: ablations) is a cache hit, and two workers asking for the same
+        #: handler concurrently collapse into one session (single-flight).
+        self.result_cache = MemoCache("session")
+        self.profile = EngineProfile()
+        # Identity tokens for cache-key participants (backends, extractors).
+        # Keying by the object pins a strong reference, so — unlike raw
+        # ``id()`` — a token can never be reused after garbage collection.
+        self._token_lock = threading.Lock()
+        self._participant_tokens: dict[object, int] = {}
+
+    # ------------------------------------------------------------- scheduling
+    def run_tasks(
+        self,
+        stage: str,
+        tasks: Sequence[TaskSpec],
+        *,
+        rethrow: bool = True,
+    ) -> list[TaskResult]:
+        """Run a batch of tasks, returning results in submission order.
+
+        With ``rethrow=True`` (the default) the first failed task's exception
+        is re-raised after the whole batch finished; ``rethrow=False`` leaves
+        failures in ``TaskResult.error`` for the caller to triage.
+        """
+        with self.profile.measure(stage):
+            results = self.executor.run(tasks)
+        for result in results:
+            self.profile.record(f"{stage}/task", result.duration)
+        if rethrow:
+            for result in results:
+                if result.error is not None:
+                    raise result.error
+        return results
+
+    # ------------------------------------------------------------ memoization
+    def token(self, participant: object) -> int:
+        """A stable per-object token for composing cache keys."""
+        with self._token_lock:
+            token = self._participant_tokens.get(participant)
+            if token is None:
+                token = len(self._participant_tokens)
+                self._participant_tokens[participant] = token
+            return token
+
+    def cached_query(self, backend, prompt):
+        """Memoized ``backend.query(prompt)``.
+
+        The key pairs the backend's identity token with the full prompt
+        (kind, subject, text): two backends with the same model string but
+        different error profiles never serve each other's completions.
+        Single-flight computation keeps the backend's usage meter at exactly
+        one recorded query per distinct prompt, independent of ``jobs``.
+        """
+        key = ("llm", self.token(backend), prompt.kind, prompt.subject, prompt.text)
+        return self.llm_cache.get_or_compute(key, lambda: backend.query(prompt))
+
+    def cached_extract(self, extractor, identifier: str) -> str:
+        """Memoized ``extractor.extract_code(identifier)``."""
+        key = (self.token(extractor), identifier)
+        return self.extract_cache.get_or_compute(
+            key, lambda: extractor.extract_code(identifier)
+        )
+
+    # --------------------------------------------------------------- reporting
+    def cache_stats(self) -> dict[str, dict]:
+        return {
+            "extract": self.extract_cache.stats.as_dict(),
+            "llm": self.llm_cache.stats.as_dict(),
+            "session": self.result_cache.stats.as_dict(),
+        }
+
+    def stats(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "executor": self.executor.name,
+            "caches": self.cache_stats(),
+            "stages": self.profile.report(),
+        }
+
+
+def resolve_engine(engine: ExecutionEngine | None, jobs: int = 1) -> ExecutionEngine | None:
+    """Resolve an optional engine + ``jobs`` knob into a dispatch engine.
+
+    Returns the engine to dispatch tasks through, or ``None`` when the
+    caller should take its plain serial path (no engine at all).  A supplied
+    engine is always used — a serial one dispatches through the serial
+    executor, so its caches and profile still see the work — and ``jobs>1``
+    gets a fresh engine when the supplied one is serial (so the knob is
+    never silently a no-op).  This is the one place the fallback policy
+    lives; generation and the fuzz-campaign drivers all route through it.
+    """
+    if jobs > 1 and (engine is None or engine.jobs <= 1):
+        engine = ExecutionEngine(jobs=jobs)
+    return engine
+
+
+__all__ = ["ExecutionEngine", "resolve_engine"]

@@ -1,0 +1,136 @@
+"""Pluggable task executors: serial, thread pool, process pool.
+
+Every executor honours the same contract:
+
+* results come back in **submission order**, regardless of completion order;
+* a task that raises is captured as a :class:`TaskResult` with ``error`` set
+  (it never aborts sibling tasks);
+* each ``run()`` call owns its worker pool.  Pools are created per call and
+  torn down afterwards, so nested fan-out (an experiment task fanning out
+  per-handler generation tasks) can never deadlock on a shared saturated
+  pool — the inner call simply gets fresh workers.
+
+The thread-pool executor is the default for in-process work that shares
+caches and backends; the process-pool executor exists for picklable
+pure-function workloads (fuzz campaigns) that want real cores.
+"""
+
+from __future__ import annotations
+
+import abc
+import concurrent.futures
+import os
+import threading
+import time
+from typing import Sequence
+
+from .tasks import TaskResult, TaskSpec
+
+
+def execute_task(task: TaskSpec) -> TaskResult:
+    """Run one task, capturing value/error/duration/worker.
+
+    Module-level (rather than a method) so process pools can pickle it.
+    """
+    started = time.perf_counter()
+    result = TaskResult(key=task.key, seed=task.seed)
+    try:
+        result.value = task()
+    except Exception as exc:
+        # Only Exception: KeyboardInterrupt/SystemExit must abort the whole
+        # batch (Ctrl-C during an hours-long run), not become a task result.
+        result.error = exc
+    result.duration = time.perf_counter() - started
+    result.worker = f"{os.getpid()}:{threading.current_thread().name}"
+    return result
+
+
+class Executor(abc.ABC):
+    """Runs a batch of tasks and returns results in submission order."""
+
+    name: str = "executor"
+
+    @abc.abstractmethod
+    def run(self, tasks: Sequence[TaskSpec]) -> list[TaskResult]:
+        """Execute every task and return one result per task, in order."""
+
+
+class SerialExecutor(Executor):
+    """Runs tasks one after another on the calling thread (``jobs=1``)."""
+
+    name = "serial"
+    jobs = 1
+
+    def run(self, tasks: Sequence[TaskSpec]) -> list[TaskResult]:
+        return [execute_task(task) for task in tasks]
+
+
+class ThreadPoolExecutor(Executor):
+    """Runs tasks on a per-call pool of ``jobs`` threads."""
+
+    name = "thread"
+
+    def __init__(self, jobs: int = 4):
+        self.jobs = max(1, jobs)
+
+    def run(self, tasks: Sequence[TaskSpec]) -> list[TaskResult]:
+        if not tasks:
+            return []
+        workers = min(self.jobs, len(tasks))
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(execute_task, task) for task in tasks]
+            return [future.result() for future in futures]
+
+
+class ProcessPoolExecutor(Executor):
+    """Runs tasks on a per-call pool of ``jobs`` processes.
+
+    Tasks (callable + arguments) and their results must be picklable.  Worker
+    processes do not share caches or usage meters with the parent, so this
+    executor suits pure-function workloads such as fuzz campaigns.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int = 4):
+        self.jobs = max(1, jobs)
+
+    def run(self, tasks: Sequence[TaskSpec]) -> list[TaskResult]:
+        if not tasks:
+            return []
+        workers = min(self.jobs, len(tasks))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(execute_task, task) for task in tasks]
+            return [future.result() for future in futures]
+
+
+def create_executor(jobs: int = 1, kind: str = "thread", *, cap_to_cpus: bool = True) -> Executor:
+    """Pick an executor for a ``jobs`` level (``jobs<=1`` is always serial).
+
+    With ``cap_to_cpus`` (the default policy) the worker count is clamped to
+    the host's CPU count: the engine's workloads are CPU-bound pure Python,
+    so oversubscribing cores only adds scheduler thrash — on a single-core
+    host ``jobs=4`` degenerates to the serial executor and the engine's win
+    comes entirely from memoization.  Callers that want latency-hiding
+    oversubscription (or a specific pool in tests) pass ``cap_to_cpus=False``
+    or hand the engine an explicit executor.
+    """
+    if kind not in ("serial", "thread", "process"):
+        raise ValueError(f"unknown executor kind {kind!r}; choose serial, thread or process")
+    if cap_to_cpus:
+        jobs = min(jobs, os.cpu_count() or 1)
+    if jobs <= 1 or kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadPoolExecutor(jobs)
+    return ProcessPoolExecutor(jobs)
+
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "create_executor",
+    "execute_task",
+]

@@ -6,14 +6,23 @@ KernelGPT generation run over the incomplete handlers and the SyzDescribe
 results over the same targets.  :class:`EvaluationContext` builds each of
 them lazily and caches them so that running several experiments in one
 process (the benchmark suite, the CLI runner) does the work once.
+
+The context is engine-backed: every instance carries an
+:class:`~repro.engine.ExecutionEngine` (serial by default) through which the
+generation run fans out and the KernelGPT instance memoizes its LLM queries
+and extractor lookups.  Lazy builders are guarded by a re-entrant lock, so
+independent tables can run concurrently (the runner's ``--jobs`` flag) and
+still build each shared artifact exactly once.
 """
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 
 from ..baselines import SyzDescribe, build_syzkaller_corpus
 from ..core import GenerationRun, KernelGPT, TargetSelection, select_target_handlers
+from ..engine import ExecutionEngine
 from ..extractor import KernelExtractor
 from ..kernel import KernelCodebase, build_default_kernel
 from ..llm import OracleBackend
@@ -24,8 +33,16 @@ from .config import ExperimentConfig, quick
 class EvaluationContext:
     """Lazily-built shared state for the evaluation."""
 
-    def __init__(self, config: ExperimentConfig | None = None, kernel: KernelCodebase | None = None):
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        kernel: KernelCodebase | None = None,
+        *,
+        engine: ExecutionEngine | None = None,
+    ):
         self.config = config or quick()
+        self.engine = engine or ExecutionEngine(jobs=1)
+        self._lock = threading.RLock()
         self._kernel = kernel
         self._extractor: KernelExtractor | None = None
         self._syzkaller: SpecCorpus | None = None
@@ -35,58 +52,75 @@ class EvaluationContext:
         self._syzdescribe: SyzDescribe | None = None
         self._syzdescribe_results: dict | None = None
 
+    def _build_once(self, attr: str, build):
+        """Double-checked lazy construction of a shared artifact.
+
+        The builder runs under the context lock so concurrent tables block
+        until the artifact exists, then share the single instance.
+        """
+        value = getattr(self, attr)
+        if value is None:
+            with self._lock:
+                value = getattr(self, attr)
+                if value is None:
+                    with self.engine.profile.measure(f"context/{attr.lstrip('_')}"):
+                        value = build()
+                    setattr(self, attr, value)
+        return value
+
     # ------------------------------------------------------------ substrates
     @property
     def kernel(self) -> KernelCodebase:
-        if self._kernel is None:
-            self._kernel = build_default_kernel(self.config.kernel_scale)
-        return self._kernel
+        return self._build_once("_kernel", lambda: build_default_kernel(self.config.kernel_scale))
 
     @property
     def extractor(self) -> KernelExtractor:
-        if self._extractor is None:
-            self._extractor = KernelExtractor(self.kernel)
-        return self._extractor
+        return self._build_once("_extractor", lambda: KernelExtractor(self.kernel))
 
     @property
     def syzkaller_corpus(self) -> SpecCorpus:
-        if self._syzkaller is None:
-            self._syzkaller = build_syzkaller_corpus(self.kernel)
-        return self._syzkaller
+        return self._build_once("_syzkaller", lambda: build_syzkaller_corpus(self.kernel))
 
     @property
     def selection(self) -> TargetSelection:
         """Loaded handlers with missing descriptions (the §5.1 targets)."""
-        if self._selection is None:
-            self._selection = select_target_handlers(self.kernel, self.syzkaller_corpus)
-        return self._selection
+        return self._build_once(
+            "_selection", lambda: select_target_handlers(self.kernel, self.syzkaller_corpus)
+        )
 
     # ------------------------------------------------------------ generators
     @property
     def kernelgpt(self) -> KernelGPT:
-        if self._kernelgpt is None:
-            self._kernelgpt = KernelGPT(self.kernel, OracleBackend(), extractor=self.extractor)
-        return self._kernelgpt
+        return self._build_once(
+            "_kernelgpt",
+            lambda: KernelGPT(
+                self.kernel, OracleBackend(), extractor=self.extractor, engine=self.engine
+            ),
+        )
 
     @property
     def generation_run(self) -> GenerationRun:
         """KernelGPT specifications for every incomplete handler."""
-        if self._generation_run is None:
-            self._generation_run = self.kernelgpt.generate_for_handlers(list(self.selection.all_handlers))
-        return self._generation_run
+        return self._build_once(
+            "_generation_run",
+            lambda: self.kernelgpt.generate_for_handlers(
+                list(self.selection.all_handlers), engine=self.engine
+            ),
+        )
 
     @property
     def syzdescribe(self) -> SyzDescribe:
-        if self._syzdescribe is None:
-            self._syzdescribe = SyzDescribe(self.kernel, extractor=self.extractor)
-        return self._syzdescribe
+        return self._build_once(
+            "_syzdescribe", lambda: SyzDescribe(self.kernel, extractor=self.extractor)
+        )
 
     @property
     def syzdescribe_results(self) -> dict:
         """SyzDescribe results for the incomplete *driver* handlers."""
-        if self._syzdescribe_results is None:
-            self._syzdescribe_results = self.syzdescribe.analyze_all(list(self.selection.driver_handlers))
-        return self._syzdescribe_results
+        return self._build_once(
+            "_syzdescribe_results",
+            lambda: self.syzdescribe.analyze_all(list(self.selection.driver_handlers)),
+        )
 
     # --------------------------------------------------------------- suites
     def kernelgpt_corpus(self) -> SpecCorpus:

@@ -3,6 +3,14 @@
 ``kernelgpt-repro --preset quick`` (installed by the package) runs every
 experiment and prints the rendered tables; ``--experiment table5`` runs a
 single one; ``--output DIR`` additionally writes one text file per result.
+
+The runner is engine-backed: ``--jobs N`` fans independent experiments out
+across N workers (shared artifacts — kernel, generation run, baselines —
+are still built exactly once, under the context lock), and ``--profile``
+prints the engine's per-stage wall-time breakdown plus cache statistics.
+Results are printed in deterministic experiment order whatever the job
+count, so ``--jobs 4`` output matches ``--jobs 1`` byte for byte (modulo
+the timing numbers themselves).
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ import sys
 import time
 from pathlib import Path
 
+from ..engine import ExecutionEngine, TaskSpec
 from .ablation_iterative import run_ablation_iterative
 from .ablation_llm import run_ablation_llm
 from .config import paper, quick
@@ -53,17 +62,19 @@ def main(argv: list[str] | None = None) -> int:
                         default=None, help="experiment(s) to run (default: all)")
     parser.add_argument("--preset", choices=["quick", "paper"], default="quick")
     parser.add_argument("--output", type=Path, default=None, help="directory to write result text files")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker threads for independent experiments (default: 1)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-stage timings and cache statistics at the end")
     args = parser.parse_args(argv)
 
     config = paper() if args.preset == "paper" else quick()
-    ctx = EvaluationContext(config)
+    engine = ExecutionEngine(jobs=args.jobs)
+    ctx = EvaluationContext(config, engine=engine)
     wanted = args.experiment or ["all"]
     names = sorted(EXPERIMENTS) if "all" in wanted else wanted
 
-    for name in names:
-        started = time.time()
-        result = run_experiment(name, ctx)
-        elapsed = time.time() - started
+    def report(name: str, result: TableResult, elapsed: float) -> None:
         text = result.render()
         print(text)
         print(f"[{name}] completed in {elapsed:.1f}s\n")
@@ -73,7 +84,45 @@ def main(argv: list[str] | None = None) -> int:
         if args.output is not None:
             args.output.mkdir(parents=True, exist_ok=True)
             (args.output / f"{name}.txt").write_text(text + "\n")
-    return 0
+
+    failures: list[tuple[str, BaseException]] = []
+    started = time.perf_counter()
+    if engine.jobs <= 1:
+        # Serial: print each table as soon as it finishes.  Failures are
+        # collected and reported exactly like the parallel path does.
+        for name in names:
+            experiment_started = time.perf_counter()
+            try:
+                with engine.profile.measure("experiments"):
+                    result = run_experiment(name, ctx)
+            except Exception as error:
+                failures.append((name, error))
+                continue
+            report(name, result, time.perf_counter() - experiment_started)
+    else:
+        # Parallel: batch through the engine, then print in experiment order.
+        # rethrow=False so one failing experiment does not discard the others.
+        tasks = [TaskSpec(key=name, fn=run_experiment, args=(name, ctx)) for name in names]
+        for task_result in engine.run_tasks("experiments", tasks, rethrow=False):
+            if task_result.error is not None:
+                failures.append((task_result.key, task_result.error))
+                continue
+            report(task_result.key, task_result.value, task_result.duration)
+    total_elapsed = time.perf_counter() - started
+
+    for name, error in failures:
+        print(f"[{name}] FAILED: {error!r}\n", file=sys.stderr)
+
+    if args.profile:
+        print(engine.profile.render())
+        caches = engine.cache_stats()
+        print("cache statistics")
+        print("----------------")
+        for cache in caches.values():
+            print(f"{cache['name']:8s}  hits={cache['hits']:6d}  misses={cache['misses']:6d}  "
+                  f"hit_rate={cache['hit_rate']:.1%}")
+        print(f"total wall time: {total_elapsed:.1f}s with jobs={engine.jobs}\n")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -57,9 +57,13 @@ def run_table1(ctx: EvaluationContext) -> TableResult:
                   f"{kg_driver_valid + kg_socket_valid} ({kg_driver_fixed + kg_socket_fixed})")
     table.add_note("paper: drivers 278/75, SyzDescribe 20 valid, KernelGPT 70 (30); "
                    "sockets 81/66, KernelGPT 57 (12)")
-    usage = ctx.kernelgpt.backend.usage.summary()
+    # Session-attributed usage of the generation run itself — deterministic
+    # however the experiments are scheduled, unlike reading the shared
+    # backend's meter while concurrent tables may still be querying it.
+    usage = generation.usage_summary()
     table.add_note(
-        f"LLM usage: {usage['queries']} queries, {usage['input_tokens']} input tokens, "
+        f"LLM usage (generation run): {usage['queries']} queries, "
+        f"{usage['input_tokens']} input tokens, "
         f"{usage['output_tokens']} output tokens, ~${usage['estimated_cost_usd']}"
     )
     return table

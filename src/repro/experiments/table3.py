@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..fuzzer import average_coverage, average_crashes, run_repeated_campaigns, union_coverage
+from ..fuzzer import average_coverage, average_crashes, run_campaign_matrix, union_coverage
 from .context import EvaluationContext
 from .reporting import TableResult
 
@@ -10,26 +10,25 @@ from .reporting import TableResult
 def run_table3(ctx: EvaluationContext) -> TableResult:
     """24-hour-campaign analogue: Syzkaller vs +SyzDescribe vs +KernelGPT."""
     config = ctx.config
-    syzkaller_suite = ctx.syzkaller_corpus.flatten("syzkaller")
-    syzdescribe_suite = ctx.syzkaller_corpus.merge_corpus(ctx.syzdescribe_corpus()).flatten(
-        "syzkaller+syzdescribe"
-    )
-    kernelgpt_suite = ctx.syzkaller_corpus.merge_corpus(ctx.kernelgpt_corpus()).flatten(
-        "syzkaller+kernelgpt"
-    )
+    suites = {
+        "Syzkaller": ctx.syzkaller_corpus.flatten("syzkaller"),
+        "Syzkaller + SyzDescribe": ctx.syzkaller_corpus.merge_corpus(
+            ctx.syzdescribe_corpus()
+        ).flatten("syzkaller+syzdescribe"),
+        "Syzkaller + KernelGPT": ctx.syzkaller_corpus.merge_corpus(
+            ctx.kernelgpt_corpus()
+        ).flatten("syzkaller+kernelgpt"),
+    }
 
-    campaigns = {}
-    for label, suite in (
-        ("Syzkaller", syzkaller_suite),
-        ("Syzkaller + SyzDescribe", syzdescribe_suite),
-        ("Syzkaller + KernelGPT", kernelgpt_suite),
-    ):
-        campaigns[label] = run_repeated_campaigns(
-            ctx.kernel, suite,
-            repetitions=config.repetitions,
-            budget_programs=config.overall_budget,
-            base_seed=config.seed,
-        )
+    # The full configurations x repetitions matrix runs as one engine batch,
+    # so with jobs>1 the three 24-hour-analogue campaigns overlap.
+    campaigns = run_campaign_matrix(
+        ctx.kernel, suites,
+        repetitions=config.repetitions,
+        budget_programs=config.overall_budget,
+        base_seed=config.seed,
+        engine=ctx.engine,
+    )
 
     baseline_blocks = union_coverage(campaigns["Syzkaller"])
     table = TableResult(

@@ -13,6 +13,7 @@ def _bugs_found(ctx: EvaluationContext, suite, budget: int) -> set[str]:
         repetitions=ctx.config.repetitions,
         budget_programs=budget,
         base_seed=ctx.config.seed + 7,
+        engine=ctx.engine,
     )
     found: set[str] = set()
     for campaign in campaigns:

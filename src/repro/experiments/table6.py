@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ..engine import derive_seed
 from ..fuzzer import average_coverage, average_crashes, run_repeated_campaigns
 from ..kernel import TABLE6_SOCKET_PROFILES
 from .context import EvaluationContext
@@ -30,11 +31,14 @@ def run_table6(ctx: EvaluationContext, *, sockets: tuple[str, ...] | None = None
             if suite is None or len(suite) == 0:
                 row.extend(["Err", "-", "-"])
                 continue
+            # derive_seed (unlike the builtin hash) is stable across
+            # interpreter invocations, so reruns reproduce identical rows.
             campaigns = run_repeated_campaigns(
                 ctx.kernel, suite,
                 repetitions=config.repetitions,
                 budget_programs=config.per_driver_budget,
-                base_seed=config.seed + hash(name) % 1000,
+                base_seed=config.seed + derive_seed(config.seed, name) % 1000,
+                engine=ctx.engine,
             )
             coverage = average_coverage(campaigns)
             crashes = average_crashes(campaigns)

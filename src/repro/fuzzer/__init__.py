@@ -7,6 +7,9 @@ from .fuzzer import (
     Fuzzer,
     average_coverage,
     average_crashes,
+    merge_campaigns,
+    run_campaign,
+    run_campaign_matrix,
     run_repeated_campaigns,
     union_coverage,
 )
@@ -28,7 +31,10 @@ __all__ = [
     "CrashLog",
     "Fuzzer",
     "FuzzCampaign",
+    "run_campaign",
     "run_repeated_campaigns",
+    "run_campaign_matrix",
+    "merge_campaigns",
     "average_coverage",
     "average_crashes",
     "union_coverage",

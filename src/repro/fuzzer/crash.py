@@ -32,6 +32,13 @@ class CrashLog:
     def bug_ids(self) -> tuple[str, ...]:
         return tuple(sorted(self.reports))
 
+    def merge(self, other: "CrashLog") -> None:
+        """Fold another campaign's observations into this log."""
+        for bug_id, count in other.observations.items():
+            self.observations[bug_id] = self.observations.get(bug_id, 0) + count
+        for bug_id, report in other.reports.items():
+            self.reports.setdefault(bug_id, report)
+
     def titles(self) -> tuple[str, ...]:
         return tuple(self.reports[bug_id].title for bug_id in sorted(self.reports))
 

@@ -103,6 +103,23 @@ class Fuzzer:
         return self.generator.generate()
 
 
+def run_campaign(
+    kernel: KernelCodebase,
+    suite: SpecSuite,
+    seed: int,
+    budget_programs: int,
+    mutation_bias: float = 0.6,
+) -> FuzzCampaign:
+    """Run one seeded campaign with a private :class:`Fuzzer`/:class:`VMPool`.
+
+    A module-level pure function of its arguments, so it can run as an engine
+    task on any executor — including a process pool, since every argument and
+    the returned :class:`FuzzCampaign` are picklable.
+    """
+    fuzzer = Fuzzer(kernel, suite, seed=seed, mutation_bias=mutation_bias)
+    return fuzzer.run(budget_programs)
+
+
 def run_repeated_campaigns(
     kernel: KernelCodebase,
     suite: SpecSuite,
@@ -110,13 +127,99 @@ def run_repeated_campaigns(
     repetitions: int = 3,
     budget_programs: int = 2000,
     base_seed: int = 0,
+    jobs: int = 1,
+    engine: "ExecutionEngine | None" = None,
 ) -> list[FuzzCampaign]:
-    """Run the same campaign with different seeds (the paper uses 3 repetitions)."""
-    campaigns = []
-    for repetition in range(repetitions):
-        fuzzer = Fuzzer(kernel, suite, seed=base_seed + repetition * 1009)
-        campaigns.append(fuzzer.run(budget_programs))
-    return campaigns
+    """Run the same campaign with different seeds (the paper uses 3 repetitions).
+
+    With ``jobs > 1`` (or an explicit ``engine``) the repetitions fan out
+    across workers, each with its own :class:`Fuzzer` and :class:`VMPool`.
+    Seeds depend only on the repetition index and results are returned in
+    repetition order, so the campaign list is identical for any ``jobs``.
+    """
+    from ..engine import TaskSpec, resolve_engine
+
+    seeds = [base_seed + repetition * 1009 for repetition in range(repetitions)]
+    engine = resolve_engine(engine, jobs)
+    if engine is None:
+        return [run_campaign(kernel, suite, seed, budget_programs) for seed in seeds]
+
+    tasks = [
+        TaskSpec(
+            key=f"{suite.name}@{seed}",
+            fn=run_campaign,
+            args=(kernel, suite, seed, budget_programs),
+            seed=seed,
+        )
+        for seed in seeds
+    ]
+    return [result.value for result in engine.run_tasks("fuzz-campaigns", tasks)]
+
+
+def run_campaign_matrix(
+    kernel: KernelCodebase,
+    suites: "dict[str, SpecSuite]",
+    *,
+    repetitions: int = 3,
+    budget_programs: int = 2000,
+    base_seed: int = 0,
+    jobs: int = 1,
+    engine: "ExecutionEngine | None" = None,
+) -> "dict[str, list[FuzzCampaign]]":
+    """Run repeated campaigns for several suites as one flat task batch.
+
+    Fanning out the full ``suites x repetitions`` matrix keeps every worker
+    busy even when one suite has few repetitions.  Results come back grouped
+    by suite label, each group in repetition order — identical to calling
+    :func:`run_repeated_campaigns` per suite serially.
+    """
+    from ..engine import TaskSpec, resolve_engine
+
+    pairs = [
+        (label, base_seed + repetition * 1009)
+        for label in suites
+        for repetition in range(repetitions)
+    ]
+    grouped: dict[str, list[FuzzCampaign]] = {label: [] for label in suites}
+    engine = resolve_engine(engine, jobs)
+    if engine is None:
+        for label, seed in pairs:
+            grouped[label].append(run_campaign(kernel, suites[label], seed, budget_programs))
+        return grouped
+
+    tasks = [
+        TaskSpec(
+            key=f"{label}@{seed}",
+            fn=run_campaign,
+            args=(kernel, suites[label], seed, budget_programs),
+            seed=seed,
+        )
+        for label, seed in pairs
+    ]
+    results = engine.run_tasks("fuzz-campaigns", tasks)
+    for (label, _), result in zip(pairs, results):
+        grouped[label].append(result.value)
+    return grouped
+
+
+def merge_campaigns(campaigns: list[FuzzCampaign], *, suite_name: str | None = None) -> FuzzCampaign:
+    """Fold a list of campaigns into one aggregate :class:`FuzzCampaign`.
+
+    Coverage becomes the union, crash logs merge with summed observation
+    counts, and program/call counters sum — the aggregate view the paper's
+    union-coverage comparisons use.
+    """
+    merged = FuzzCampaign(
+        suite_name=suite_name or (campaigns[0].suite_name if campaigns else "merged"),
+        seed=campaigns[0].seed if campaigns else 0,
+    )
+    for campaign in campaigns:
+        merged.coverage |= campaign.coverage
+        merged.crash_log.merge(campaign.crash_log)
+        merged.executed_programs += campaign.executed_programs
+        merged.executed_calls += campaign.executed_calls
+        merged.corpus_size += campaign.corpus_size
+    return merged
 
 
 def average_coverage(campaigns: list[FuzzCampaign]) -> float:
@@ -141,7 +244,10 @@ def union_coverage(campaigns: list[FuzzCampaign]) -> set[str]:
 __all__ = [
     "Fuzzer",
     "FuzzCampaign",
+    "run_campaign",
     "run_repeated_campaigns",
+    "run_campaign_matrix",
+    "merge_campaigns",
     "average_coverage",
     "average_crashes",
     "union_coverage",

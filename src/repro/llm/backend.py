@@ -15,6 +15,7 @@ defines that interface plus:
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
 
 from ..errors import LLMBudgetExceeded
@@ -51,21 +52,30 @@ class Completion:
 
 @dataclass
 class UsageMeter:
-    """Accumulates query/token usage across a generation run."""
+    """Accumulates query/token usage across a generation run.
+
+    Recording is guarded by a lock: one backend may serve many concurrent
+    generation sessions (the engine's thread-pool fan-out), and lost updates
+    would make usage totals schedule-dependent.
+    """
 
     queries: int = 0
     input_tokens: int = 0
     output_tokens: int = 0
     by_kind: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def record(self, prompt: Prompt, completion: Completion) -> None:
-        self.queries += 1
-        self.input_tokens += prompt.approximate_tokens()
-        self.output_tokens += completion.approximate_tokens()
-        kind_stats = self.by_kind.setdefault(prompt.kind, {"queries": 0, "input": 0, "output": 0})
-        kind_stats["queries"] += 1
-        kind_stats["input"] += prompt.approximate_tokens()
-        kind_stats["output"] += completion.approximate_tokens()
+        with self._lock:
+            self.queries += 1
+            self.input_tokens += prompt.approximate_tokens()
+            self.output_tokens += completion.approximate_tokens()
+            kind_stats = self.by_kind.setdefault(prompt.kind, {"queries": 0, "input": 0, "output": 0})
+            kind_stats["queries"] += 1
+            kind_stats["input"] += prompt.approximate_tokens()
+            kind_stats["output"] += completion.approximate_tokens()
 
     def estimated_cost_usd(self, *, input_per_million: float = 5.0, output_per_million: float = 15.0) -> float:
         """Rough dollar cost at GPT-4-class pricing."""
@@ -155,14 +165,29 @@ class LLMBackend(abc.ABC):
         self.model = model
         self.usage = UsageMeter()
         self._query_budget = query_budget
+        # Budget slots are reserved atomically before the completion runs, so
+        # the budget raises at exactly the same query index whether one or
+        # many threads share the backend (a check on usage.queries alone
+        # would let concurrent callers race past the limit).
+        self._budget_lock = threading.Lock()
+        self._reserved_queries = 0
 
     def query(self, prompt: Prompt) -> Completion:
         """Send a prompt, enforce the query budget, and record usage."""
-        if self._query_budget is not None and self.usage.queries >= self._query_budget:
-            raise LLMBudgetExceeded(
-                f"backend {self.model!r} exceeded its query budget of {self._query_budget}"
-            )
-        completion = self.complete(prompt)
+        if self._query_budget is not None:
+            with self._budget_lock:
+                if self._reserved_queries >= self._query_budget:
+                    raise LLMBudgetExceeded(
+                        f"backend {self.model!r} exceeded its query budget of {self._query_budget}"
+                    )
+                self._reserved_queries += 1
+        try:
+            completion = self.complete(prompt)
+        except Exception:
+            if self._query_budget is not None:
+                with self._budget_lock:
+                    self._reserved_queries -= 1
+            raise
         self.usage.record(prompt, completion)
         return completion
 
