@@ -22,6 +22,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from ..engine import derive_seed
 from ..extractor import FunctionDecl, KernelExtractor, StructDecl
 from ..kernel import KernelCodebase
 from ..syzlang import (
@@ -102,7 +103,10 @@ class SyzDescribe:
         if not cases:
             return SyzDescribeResult(handler_name, None, False, "could not resolve command dispatch")
 
-        tag = abs(hash(handler_name)) % 90000 + 10000
+        # The tag must be a pure function of the handler name: the builtin
+        # hash() is salted by PYTHONHASHSEED, so it differs across worker
+        # processes and reruns, which made suites schedule-dependent.
+        tag = derive_seed(0, "syzdescribe", handler_name) % 90000 + 10000
         suite = self._assemble(info.handler_name, tag, device_path, cases)
         report = self._validator.validate(suite)
         return SyzDescribeResult(handler_name, suite, report.is_valid)

@@ -3,13 +3,19 @@
 from .filtering import TargetSelection, described_interfaces, scan_missing_specs, select_target_handlers
 from .generator import DiscoveredOp, GenerationResult, GenerationRun, KernelGPT
 from .iterative import DEFAULT_MAX_ITERATIONS, IterationTrace, IterativeAnalyzer
-from .session import GenerationSession
+from .session import GenerationSession, run_session
+from .tasks import GenerationOutcome, GenerationTask, merge_outcome_side_effects, run_generation_task
 
 __all__ = [
     "KernelGPT",
     "GenerationResult",
     "GenerationRun",
     "GenerationSession",
+    "run_session",
+    "GenerationTask",
+    "GenerationOutcome",
+    "run_generation_task",
+    "merge_outcome_side_effects",
     "DiscoveredOp",
     "IterativeAnalyzer",
     "IterationTrace",

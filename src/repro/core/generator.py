@@ -49,10 +49,12 @@ from ..syzlang import (
     Syscall,
     ValidationReport,
     parse_suite,
+    resolve_resource_refs,
     serialize_suite,
 )
 from .iterative import DEFAULT_MAX_ITERATIONS
-from .session import GenerationSession
+from .session import GenerationSession, run_session
+from .tasks import GenerationTask, merge_outcome_side_effects, run_generation_task
 
 _GENERIC_WITH_VARIANT = ("ioctl", "setsockopt", "getsockopt")
 _MESSAGE_SYSCALLS = ("bind", "connect", "accept", "sendto", "recvfrom", "sendmsg", "recvmsg", "poll")
@@ -171,6 +173,18 @@ class KernelGPT:
         self._constants = self.extractor.constants()
         self._validator = SpecValidator(self._constants, warn_unused=False)
 
+    def __getstate__(self) -> dict:
+        """Generators are picklable minus the engine.
+
+        Engines own worker pools, locks and memo caches — none of which may
+        cross a process boundary.  A worker's unpickled generator therefore
+        runs engine-less (plain sessions, no memoization), which changes
+        only scheduling and caching, never the generated bytes.
+        """
+        state = self.__dict__.copy()
+        state["engine"] = None
+        return state
+
     # ----------------------------------------------------- engine plumbing
     def query(self, prompt: Prompt) -> Completion:
         """One LLM query, memoized by the engine's single-flight cache if present."""
@@ -202,10 +216,10 @@ class KernelGPT:
         """
         engine = engine or self.engine
         if engine is None:
-            return self.session(handler_name).run()
+            return run_session(self, handler_name)
         key = (engine.token(self), "iterative", handler_name)
         return engine.result_cache.get_or_compute(
-            key, lambda: self.session(handler_name, engine=engine).run()
+            key, lambda: run_session(self, handler_name, engine=engine)
         )
 
     def generate_for_handlers(
@@ -214,40 +228,68 @@ class KernelGPT:
         *,
         jobs: int = 1,
         engine: ExecutionEngine | None = None,
+        executor: str | None = None,
     ) -> GenerationRun:
         """Generate specifications for many handlers (a full campaign).
 
         Handlers fan out across the engine's executor (``jobs`` workers; an
-        explicit ``engine`` overrides both ``jobs`` and the instance engine).
+        explicit ``engine`` overrides both ``jobs`` and the instance engine,
+        and ``executor`` names the pool flavour — ``serial``/``thread``/
+        ``process`` — when a fresh engine is created for the fan-out).
         Sessions are independent, so any schedule produces the same
         :class:`GenerationRun`: results are keyed in ``handler_names`` order
         and each handler's suite is byte-identical to a serial run.
+
+        Task payloads are picklable (module-level function + dataclass
+        args; see :mod:`repro.core.tasks`), so the fan-out works unchanged
+        on a process pool: workers run engine-less on their own copy of the
+        generator, and their usage meters / recorded exchanges are merged
+        back into this generator's backend when the batch joins.
         """
-        engine = resolve_engine(engine or self.engine, jobs)
         run = GenerationRun()
-        if engine is None:
-            for handler_name in handler_names:
-                try:
-                    run.results[handler_name] = self.generate_for_handler(handler_name)
-                except (ExtractionError, GenerationError):
-                    continue
-            return run
-        tasks = [
-            TaskSpec(key=handler_name, fn=self._generate_or_none, args=(handler_name, engine))
-            for handler_name in handler_names
-        ]
-        for result in engine.run_tasks("generation", tasks):
-            if result.value is not None:
-                run.results[result.key] = result.value
+        tasks = [GenerationTask(handler_name) for handler_name in handler_names]
+        for task, result in zip(
+            tasks, self.run_generation_tasks(tasks, jobs=jobs, engine=engine, executor=executor)
+        ):
+            if result is not None:
+                run.results[task.handler_name] = result
         return run
 
-    def _generate_or_none(
-        self, handler_name: str, engine: ExecutionEngine | None = None
-    ) -> GenerationResult | None:
-        try:
-            return self.generate_for_handler(handler_name, engine=engine)
-        except (ExtractionError, GenerationError):
-            return None
+    def run_generation_tasks(
+        self,
+        tasks: "list[GenerationTask]",
+        *,
+        jobs: int = 1,
+        engine: ExecutionEngine | None = None,
+        executor: str | None = None,
+    ) -> "list[GenerationResult | None]":
+        """Run a batch of generation task payloads, one result per task.
+
+        The generic fan-out behind :meth:`generate_for_handlers` and the
+        ablation's mixed iterative/all-in-one batches.  Results come back in
+        task order (``None`` where extraction/generation failed); with an
+        engine they are memoized in its result cache, so re-requesting a
+        handler later is a cache hit.  On executors that do not share
+        memory, worker usage/exchanges are merged into this generator's
+        backend after the batch, in submission order.
+        """
+        engine = resolve_engine(engine or self.engine, jobs, kind=executor)
+        if engine is None:
+            return [run_generation_task(self, task).result for task in tasks]
+        shared = engine.shares_memory
+        specs = [
+            TaskSpec(
+                key=f"{task.handler_name}@{task.mode}",
+                fn=run_generation_task,
+                args=(self, task, engine if shared else None),
+                kwargs=None if shared else {"collect_side_effects": True},
+            )
+            for task in tasks
+        ]
+        outcomes = [result.value for result in engine.run_tasks("generation", specs)]
+        if not shared:
+            merge_outcome_side_effects(self.backend, outcomes)
+        return [outcome.result for outcome in outcomes]
 
     def generate_all_in_one(
         self, handler_name: str, *, engine: ExecutionEngine | None = None
@@ -491,6 +533,11 @@ class KernelGPT:
             parsed = parse_suite(repaired_text)
         except SyzlangParseError:
             return False
+        # The repaired fragment has no resource declarations of its own, so
+        # bare resource uses parse as named-type references; resolve them
+        # against the destination suite's table so the merged AST is
+        # identical to what a whole-document parse would produce.
+        resolve_resource_refs(parsed, set(suite.resources) | set(parsed.resources))
         changed = False
         for syscall in parsed:
             suite.add_syscall(syscall, replace_existing=True)

@@ -14,6 +14,15 @@ an engine-level memo cache absorbed), and carries its own
 :class:`KernelGPT` keeps only immutable, shareable collaborators (extractor,
 prompt library, validator, constants), so any number of sessions can run
 concurrently and still produce byte-identical suites.
+
+Sessions never cross process boundaries: what gets pickled into a
+process-pool task is the *generator* plus a plain-data
+:class:`~repro.core.tasks.GenerationTask`, and the worker builds its
+sessions locally through the module-level :func:`run_session` (a named
+function, not a bound method, so task specs that reference it stay
+picklable).  Everything a session closes over — the analyzer's extract
+hook, the per-stage prompt builders — is therefore worker-local by
+construction and never needs to serialize.
 """
 
 from __future__ import annotations
@@ -286,4 +295,15 @@ class GenerationSession:
         result.valid = report.is_valid
 
 
-__all__ = ["GenerationSession"]
+def run_session(gpt, handler_name: str, *, engine=None):
+    """Run one handler's full generation session and return its result.
+
+    The module-level session entry point: process-pool workers (and the
+    in-process memoized path) reach sessions through this named function
+    instead of a bound ``KernelGPT`` method, which is what keeps generation
+    task specs picklable end to end.
+    """
+    return GenerationSession(gpt, handler_name, engine=engine).run()
+
+
+__all__ = ["GenerationSession", "run_session"]

@@ -1,0 +1,93 @@
+"""A global, process-wide budget of concurrent workers.
+
+PR 1's executors create a fresh pool per ``run()`` call, which keeps nested
+fan-out (an experiment task fanning out per-handler generation tasks, which
+fan out per-campaign fuzz tasks) deadlock-free — but it also means every
+nesting level sizes its pool independently, so a ``--jobs N`` runner could
+put ``N * N`` workers on ``N`` cores.  :class:`GlobalWorkerBudget` closes
+that hole without reintroducing shared-pool deadlocks:
+
+* every pool *leases* workers from one shared budget before it spins up and
+  releases them when the batch finishes;
+* a lease is **never blocking** and always grants at least one worker, so a
+  nested pool can always make progress even when the budget is exhausted —
+  the worst case is one extra worker per nesting level, not a deadlock;
+* the budget is advisory concurrency control only: it changes *how many*
+  workers run at once, never *what* they compute, so any grant sequence
+  produces byte-identical results (executors still return submission order).
+
+The module-level default budget is sized to the host's CPU count; tests and
+embedders can install their own with :func:`set_global_worker_budget`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+
+class GlobalWorkerBudget:
+    """Caps the number of concurrently leased workers across nested pools."""
+
+    def __init__(self, limit: int | None = None):
+        self.limit = max(1, limit if limit is not None else (os.cpu_count() or 1))
+        self._lock = threading.Lock()
+        self._leased = 0
+        self.peak = 0
+
+    def lease(self, requested: int) -> int:
+        """Grant between 1 and ``requested`` workers, without ever blocking.
+
+        Granting at least one worker keeps nested fan-out deadlock-free: a
+        saturated budget degrades inner pools to effectively-serial execution
+        instead of making them wait on workers that may never be released.
+        """
+        requested = max(1, requested)
+        with self._lock:
+            available = max(0, self.limit - self._leased)
+            granted = max(1, min(requested, available))
+            self._leased += granted
+            self.peak = max(self.peak, self._leased)
+            return granted
+
+    def release(self, granted: int) -> None:
+        with self._lock:
+            self._leased = max(0, self._leased - granted)
+
+    @contextmanager
+    def workers(self, requested: int):
+        """Lease workers for the duration of a ``with`` block."""
+        granted = self.lease(requested)
+        try:
+            yield granted
+        finally:
+            self.release(granted)
+
+    @property
+    def leased(self) -> int:
+        with self._lock:
+            return self._leased
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"limit": self.limit, "leased": self._leased, "peak": self.peak}
+
+
+_default_budget = GlobalWorkerBudget()
+
+
+def get_global_worker_budget() -> GlobalWorkerBudget:
+    """The process-wide budget new executors lease from by default."""
+    return _default_budget
+
+
+def set_global_worker_budget(budget: GlobalWorkerBudget) -> GlobalWorkerBudget:
+    """Install ``budget`` as the process-wide default; returns the previous one."""
+    global _default_budget
+    previous = _default_budget
+    _default_budget = budget
+    return previous
+
+
+__all__ = ["GlobalWorkerBudget", "get_global_worker_budget", "set_global_worker_budget"]

@@ -23,6 +23,7 @@ from __future__ import annotations
 import threading
 from typing import Sequence
 
+from .budget import GlobalWorkerBudget
 from .cache import MemoCache
 from .executors import Executor, create_executor
 from .profile import EngineProfile
@@ -38,9 +39,10 @@ class ExecutionEngine:
         jobs: int = 1,
         kind: str = "thread",
         executor: Executor | None = None,
+        budget: "GlobalWorkerBudget | None" = None,
     ):
         self.jobs = max(1, jobs)
-        self.executor = executor or create_executor(self.jobs, kind)
+        self.executor = executor or create_executor(self.jobs, kind, budget=budget)
         self.extract_cache = MemoCache("extract")
         self.llm_cache = MemoCache("llm")
         #: Whole generation sessions, keyed by (generator, mode, handler) —
@@ -54,6 +56,11 @@ class ExecutionEngine:
         # ``id()`` — a token can never be reused after garbage collection.
         self._token_lock = threading.Lock()
         self._participant_tokens: dict[object, int] = {}
+
+    @property
+    def shares_memory(self) -> bool:
+        """Whether tasks run in the caller's address space (see Executor)."""
+        return self.executor.shares_memory
 
     # ------------------------------------------------------------- scheduling
     def run_tasks(
@@ -125,19 +132,23 @@ class ExecutionEngine:
         }
 
 
-def resolve_engine(engine: ExecutionEngine | None, jobs: int = 1) -> ExecutionEngine | None:
-    """Resolve an optional engine + ``jobs`` knob into a dispatch engine.
+def resolve_engine(
+    engine: ExecutionEngine | None, jobs: int = 1, *, kind: str | None = None
+) -> ExecutionEngine | None:
+    """Resolve an optional engine + ``jobs``/``kind`` knobs into a dispatch engine.
 
     Returns the engine to dispatch tasks through, or ``None`` when the
     caller should take its plain serial path (no engine at all).  A supplied
     engine is always used — a serial one dispatches through the serial
     executor, so its caches and profile still see the work — and ``jobs>1``
     gets a fresh engine when the supplied one is serial (so the knob is
-    never silently a no-op).  This is the one place the fallback policy
-    lives; generation and the fuzz-campaign drivers all route through it.
+    never silently a no-op).  ``kind`` names the executor flavour for that
+    fresh engine (``serial``/``thread``/``process``); it never overrides an
+    explicit engine.  This is the one place the fallback policy lives;
+    generation and the fuzz-campaign drivers all route through it.
     """
     if jobs > 1 and (engine is None or engine.jobs <= 1):
-        engine = ExecutionEngine(jobs=jobs)
+        engine = ExecutionEngine(jobs=jobs, kind=kind or "thread")
     return engine
 
 

@@ -9,10 +9,18 @@ Every executor honours the same contract:
   torn down afterwards, so nested fan-out (an experiment task fanning out
   per-handler generation tasks) can never deadlock on a shared saturated
   pool — the inner call simply gets fresh workers.
+* pool sizes are leased from a :class:`~repro.engine.budget.GlobalWorkerBudget`
+  when one is attached, so nested fan-out at ``--jobs N`` cannot oversubscribe
+  the host: an inner pool created while the budget is exhausted degrades to a
+  single worker instead of stacking ``N`` more.
 
 The thread-pool executor is the default for in-process work that shares
 caches and backends; the process-pool executor exists for picklable
-pure-function workloads (fuzz campaigns) that want real cores.
+workloads (fuzz campaigns, handler-generation task payloads) that want real
+cores.  ``shares_memory`` tells schedulers which of the two worlds they are
+in: process workers see *copies* of the task arguments, so any state they
+mutate (usage meters, recorded exchanges) must travel back in the task's
+return value and be merged at join.
 """
 
 from __future__ import annotations
@@ -22,8 +30,10 @@ import concurrent.futures
 import os
 import threading
 import time
+from contextlib import nullcontext
 from typing import Sequence
 
+from .budget import GlobalWorkerBudget, get_global_worker_budget
 from .tasks import TaskResult, TaskSpec
 
 
@@ -49,6 +59,11 @@ class Executor(abc.ABC):
     """Runs a batch of tasks and returns results in submission order."""
 
     name: str = "executor"
+    #: Whether workers share the caller's address space.  Process pools set
+    #: this to False: their tasks receive pickled copies of the arguments, so
+    #: side effects on those copies are invisible to the parent and must be
+    #: carried back through return values.
+    shares_memory: bool = True
 
     @abc.abstractmethod
     def run(self, tasks: Sequence[TaskSpec]) -> list[TaskResult]:
@@ -65,65 +80,74 @@ class SerialExecutor(Executor):
         return [execute_task(task) for task in tasks]
 
 
-class ThreadPoolExecutor(Executor):
-    """Runs tasks on a per-call pool of ``jobs`` threads."""
+class _PoolExecutor(Executor):
+    """Shared machinery for the pool executors: sizing, leasing, ordering."""
 
-    name = "thread"
+    pool_factory: type
 
-    def __init__(self, jobs: int = 4):
+    def __init__(self, jobs: int = 4, *, budget: GlobalWorkerBudget | None = None):
         self.jobs = max(1, jobs)
+        self.budget = budget
 
     def run(self, tasks: Sequence[TaskSpec]) -> list[TaskResult]:
         if not tasks:
             return []
-        workers = min(self.jobs, len(tasks))
-        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(execute_task, task) for task in tasks]
-            return [future.result() for future in futures]
+        wanted = min(self.jobs, len(tasks))
+        lease = self.budget.workers(wanted) if self.budget is not None else nullcontext(wanted)
+        with lease as workers:
+            with self.pool_factory(max_workers=workers) as pool:
+                futures = [pool.submit(execute_task, task) for task in tasks]
+                return [future.result() for future in futures]
 
 
-class ProcessPoolExecutor(Executor):
-    """Runs tasks on a per-call pool of ``jobs`` processes.
+class ThreadPoolExecutor(_PoolExecutor):
+    """Runs tasks on a per-call pool of up to ``jobs`` threads."""
+
+    name = "thread"
+    pool_factory = concurrent.futures.ThreadPoolExecutor
+
+
+class ProcessPoolExecutor(_PoolExecutor):
+    """Runs tasks on a per-call pool of up to ``jobs`` processes.
 
     Tasks (callable + arguments) and their results must be picklable.  Worker
-    processes do not share caches or usage meters with the parent, so this
-    executor suits pure-function workloads such as fuzz campaigns.
+    processes do not share caches or usage meters with the parent — mutable
+    outcomes must be returned from the task and merged at join (see
+    :mod:`repro.core.tasks` for the generation payloads that do this).
     """
 
     name = "process"
-
-    def __init__(self, jobs: int = 4):
-        self.jobs = max(1, jobs)
-
-    def run(self, tasks: Sequence[TaskSpec]) -> list[TaskResult]:
-        if not tasks:
-            return []
-        workers = min(self.jobs, len(tasks))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(execute_task, task) for task in tasks]
-            return [future.result() for future in futures]
+    shares_memory = False
+    pool_factory = concurrent.futures.ProcessPoolExecutor
 
 
-def create_executor(jobs: int = 1, kind: str = "thread", *, cap_to_cpus: bool = True) -> Executor:
+def create_executor(
+    jobs: int = 1,
+    kind: str = "thread",
+    *,
+    cap_to_cpus: bool = True,
+    budget: GlobalWorkerBudget | None = None,
+) -> Executor:
     """Pick an executor for a ``jobs`` level (``jobs<=1`` is always serial).
 
-    With ``cap_to_cpus`` (the default policy) the worker count is clamped to
-    the host's CPU count: the engine's workloads are CPU-bound pure Python,
-    so oversubscribing cores only adds scheduler thrash — on a single-core
-    host ``jobs=4`` degenerates to the serial executor and the engine's win
-    comes entirely from memoization.  Callers that want latency-hiding
-    oversubscription (or a specific pool in tests) pass ``cap_to_cpus=False``
-    or hand the engine an explicit executor.
+    With ``cap_to_cpus`` (the default policy) the pool leases its workers
+    from the process-wide :class:`GlobalWorkerBudget`, which is sized to the
+    host's CPU count: the engine's workloads are CPU-bound pure Python, so
+    oversubscribing cores only adds scheduler thrash, and nested pools at
+    ``--jobs N`` would otherwise stack ``N`` workers per level.  Callers that
+    want latency-hiding oversubscription (or a deterministic pool shape in
+    tests) pass ``cap_to_cpus=False`` or hand the engine an explicit
+    executor; an explicit ``budget`` overrides the global one.
     """
     if kind not in ("serial", "thread", "process"):
         raise ValueError(f"unknown executor kind {kind!r}; choose serial, thread or process")
-    if cap_to_cpus:
-        jobs = min(jobs, os.cpu_count() or 1)
     if jobs <= 1 or kind == "serial":
         return SerialExecutor()
+    if budget is None and cap_to_cpus:
+        budget = get_global_worker_budget()
     if kind == "thread":
-        return ThreadPoolExecutor(jobs)
-    return ProcessPoolExecutor(jobs)
+        return ThreadPoolExecutor(jobs, budget=budget)
+    return ProcessPoolExecutor(jobs, budget=budget)
 
 
 __all__ = [

@@ -5,12 +5,17 @@ experiment and prints the rendered tables; ``--experiment table5`` runs a
 single one; ``--output DIR`` additionally writes one text file per result.
 
 The runner is engine-backed: ``--jobs N`` fans independent experiments out
-across N workers (shared artifacts — kernel, generation run, baselines —
-are still built exactly once, under the context lock), and ``--profile``
-prints the engine's per-stage wall-time breakdown plus cache statistics.
-Results are printed in deterministic experiment order whatever the job
-count, so ``--jobs 4`` output matches ``--jobs 1`` byte for byte (modulo
-the timing numbers themselves).
+across N workers, and ``--executor {serial,thread,process}`` picks the pool
+flavour.  With threads (the default), shared artifacts — kernel, generation
+run, baselines — are built exactly once, under the context lock.  With
+processes, each worker builds (and caches, per process, across its tasks)
+its own evaluation context from the preset name, because contexts hold
+locks and engines that cannot cross a process boundary; experiments are
+pure functions of the configuration, so the rendered tables are unchanged.
+``--profile`` prints the engine's per-stage wall-time breakdown plus cache
+statistics.  Results are printed in deterministic experiment order whatever
+the job count or executor, so ``--jobs 4 --executor process`` output
+matches ``--jobs 1`` byte for byte (modulo the timing numbers themselves).
 """
 
 from __future__ import annotations
@@ -56,6 +61,36 @@ def run_experiment(name: str, ctx: EvaluationContext) -> TableResult:
     return runner(ctx)
 
 
+def run_experiment_for_preset(name: str, preset: str) -> TableResult:
+    """Run one experiment against a worker-local context for ``preset``.
+
+    The process-pool task payload: module-level, with string arguments, so
+    it pickles by name.  ``shared_context`` is process-cached, so a worker
+    that runs several experiments builds the kernel/generation artifacts
+    once — the per-process analogue of the thread path's shared context.
+    Experiments are deterministic functions of the configuration, so the
+    rendered result is byte-identical to the shared-memory path.
+    """
+    from .context import shared_context
+
+    return run_experiment(name, shared_context(preset))
+
+
+def run_table1_for_preset(preset: str) -> "tuple[TableResult, str]":
+    """table1 plus its §5.1.3 correctness audit as one process-pool payload.
+
+    The audit needs the full generation run, which in process mode lives in
+    a worker context, not the parent's — recomputing it in the parent would
+    redo the whole pipeline serially, and a separate audit task would build
+    a second context on another worker.  Bundling table + rendered audit
+    into one task means exactly one worker pays for the generation run.
+    """
+    from .context import shared_context
+
+    ctx = shared_context(preset)
+    return run_table1(ctx), run_correctness_audit(ctx).render()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="Regenerate the KernelGPT evaluation tables/figures")
     parser.add_argument("--experiment", "-e", action="append", choices=sorted(EXPERIMENTS) + ["all"],
@@ -63,24 +98,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--preset", choices=["quick", "paper"], default="quick")
     parser.add_argument("--output", type=Path, default=None, help="directory to write result text files")
     parser.add_argument("--jobs", "-j", type=int, default=1,
-                        help="worker threads for independent experiments (default: 1)")
+                        help="workers for independent experiments (default: 1)")
+    parser.add_argument("--executor", choices=["serial", "thread", "process"], default="thread",
+                        help="worker pool flavour for --jobs > 1 (default: thread)")
     parser.add_argument("--profile", action="store_true",
                         help="print per-stage timings and cache statistics at the end")
     args = parser.parse_args(argv)
 
     config = paper() if args.preset == "paper" else quick()
-    engine = ExecutionEngine(jobs=args.jobs)
+    engine = ExecutionEngine(jobs=args.jobs, kind=args.executor)
     ctx = EvaluationContext(config, engine=engine)
     wanted = args.experiment or ["all"]
     names = sorted(EXPERIMENTS) if "all" in wanted else wanted
+
+    audits: dict[str, str] = {}
 
     def report(name: str, result: TableResult, elapsed: float) -> None:
         text = result.render()
         print(text)
         print(f"[{name}] completed in {elapsed:.1f}s\n")
         if name == "table1":
-            audit = run_correctness_audit(ctx)
-            print("Correctness audit (§5.1.3):", audit.render(), "\n")
+            # In process mode the generation run lives in worker contexts;
+            # the audit was computed there too (see the task batch below),
+            # so the parent never rebuilds the pipeline just to audit it.
+            audit_text = audits.get("table1") or run_correctness_audit(ctx).render()
+            print("Correctness audit (§5.1.3):", audit_text, "\n")
         if args.output is not None:
             args.output.mkdir(parents=True, exist_ok=True)
             (args.output / f"{name}.txt").write_text(text + "\n")
@@ -102,12 +144,27 @@ def main(argv: list[str] | None = None) -> int:
     else:
         # Parallel: batch through the engine, then print in experiment order.
         # rethrow=False so one failing experiment does not discard the others.
-        tasks = [TaskSpec(key=name, fn=run_experiment, args=(name, ctx)) for name in names]
+        # Thread workers share the parent context; process workers cannot
+        # (contexts hold locks/engines), so their payload is the picklable
+        # (experiment name, preset name) pair and each worker process builds
+        # its own context once.
+        if engine.shares_memory:
+            tasks = [TaskSpec(key=name, fn=run_experiment, args=(name, ctx)) for name in names]
+        else:
+            tasks = [
+                TaskSpec(key=name, fn=run_table1_for_preset, args=(args.preset,))
+                if name == "table1"
+                else TaskSpec(key=name, fn=run_experiment_for_preset, args=(name, args.preset))
+                for name in names
+            ]
         for task_result in engine.run_tasks("experiments", tasks, rethrow=False):
             if task_result.error is not None:
                 failures.append((task_result.key, task_result.error))
                 continue
-            report(task_result.key, task_result.value, task_result.duration)
+            value = task_result.value
+            if task_result.key == "table1" and isinstance(value, tuple):
+                value, audits["table1"] = value
+            report(task_result.key, value, task_result.duration)
     total_elapsed = time.perf_counter() - started
 
     for name, error in failures:

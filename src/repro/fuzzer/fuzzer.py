@@ -129,18 +129,23 @@ def run_repeated_campaigns(
     base_seed: int = 0,
     jobs: int = 1,
     engine: "ExecutionEngine | None" = None,
+    executor: str | None = None,
 ) -> list[FuzzCampaign]:
     """Run the same campaign with different seeds (the paper uses 3 repetitions).
 
     With ``jobs > 1`` (or an explicit ``engine``) the repetitions fan out
-    across workers, each with its own :class:`Fuzzer` and :class:`VMPool`.
-    Seeds depend only on the repetition index and results are returned in
-    repetition order, so the campaign list is identical for any ``jobs``.
+    across workers, each with its own :class:`Fuzzer` and :class:`VMPool`;
+    ``executor`` picks the pool flavour (``serial``/``thread``/``process``)
+    when a fresh engine is created.  Campaign tasks are pure module-level
+    functions of picklable arguments, so the process pool needs no extra
+    plumbing.  Seeds depend only on the repetition index and results are
+    returned in repetition order, so the campaign list is identical for any
+    ``jobs`` and executor kind.
     """
     from ..engine import TaskSpec, resolve_engine
 
     seeds = [base_seed + repetition * 1009 for repetition in range(repetitions)]
-    engine = resolve_engine(engine, jobs)
+    engine = resolve_engine(engine, jobs, kind=executor)
     if engine is None:
         return [run_campaign(kernel, suite, seed, budget_programs) for seed in seeds]
 
@@ -165,13 +170,14 @@ def run_campaign_matrix(
     base_seed: int = 0,
     jobs: int = 1,
     engine: "ExecutionEngine | None" = None,
+    executor: str | None = None,
 ) -> "dict[str, list[FuzzCampaign]]":
     """Run repeated campaigns for several suites as one flat task batch.
 
     Fanning out the full ``suites x repetitions`` matrix keeps every worker
     busy even when one suite has few repetitions.  Results come back grouped
     by suite label, each group in repetition order — identical to calling
-    :func:`run_repeated_campaigns` per suite serially.
+    :func:`run_repeated_campaigns` per suite serially, for any executor kind.
     """
     from ..engine import TaskSpec, resolve_engine
 
@@ -181,7 +187,7 @@ def run_campaign_matrix(
         for repetition in range(repetitions)
     ]
     grouped: dict[str, list[FuzzCampaign]] = {label: [] for label in suites}
-    engine = resolve_engine(engine, jobs)
+    engine = resolve_engine(engine, jobs, kind=executor)
     if engine is None:
         for label, seed in pairs:
             grouped[label].append(run_campaign(kernel, suites[label], seed, budget_programs))

@@ -13,7 +13,7 @@ from .backend import (
 from .degraded import DegradedBackend
 from .oracle import OracleBackend, slice_case_block
 from .prompts import ParsedReply, PromptLibrary, UnknownItem, parse_reply
-from .replay import RecordingBackend, ReplayBackend
+from .replay import RecordedExchange, RecordingBackend, ReplayBackend, prompt_key
 
 __all__ = [
     "LLMBackend",
@@ -28,6 +28,8 @@ __all__ = [
     "DegradedBackend",
     "ReplayBackend",
     "RecordingBackend",
+    "RecordedExchange",
+    "prompt_key",
     "PromptLibrary",
     "UnknownItem",
     "ParsedReply",

@@ -57,6 +57,10 @@ class UsageMeter:
     Recording is guarded by a lock: one backend may serve many concurrent
     generation sessions (the engine's thread-pool fan-out), and lost updates
     would make usage totals schedule-dependent.
+
+    Meters are picklable (the lock is dropped and recreated), so a backend
+    can travel inside a process-pool task payload; worker-side usage comes
+    back through :meth:`merge` when the parent joins the batch.
     """
 
     queries: int = 0
@@ -76,6 +80,30 @@ class UsageMeter:
             kind_stats["queries"] += 1
             kind_stats["input"] += prompt.approximate_tokens()
             kind_stats["output"] += completion.approximate_tokens()
+
+    def merge(self, other: "UsageMeter") -> None:
+        """Fold another meter's totals into this one (process-mode join).
+
+        ``other`` is expected to be a worker-private meter that is no longer
+        being written to; only this meter's lock is taken.
+        """
+        with self._lock:
+            self.queries += other.queries
+            self.input_tokens += other.input_tokens
+            self.output_tokens += other.output_tokens
+            for kind, stats in other.by_kind.items():
+                kind_stats = self.by_kind.setdefault(kind, {"queries": 0, "input": 0, "output": 0})
+                for counter in ("queries", "input", "output"):
+                    kind_stats[counter] += stats[counter]
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def estimated_cost_usd(self, *, input_per_million: float = 5.0, output_per_million: float = 15.0) -> float:
         """Rough dollar cost at GPT-4-class pricing."""
@@ -194,6 +222,44 @@ class LLMBackend(abc.ABC):
     @abc.abstractmethod
     def complete(self, prompt: Prompt) -> Completion:
         """Produce a completion for ``prompt`` (implemented by subclasses)."""
+
+    def note_external_queries(self, queries: int) -> None:
+        """Count queries a worker-process copy issued against this budget.
+
+        Process workers enforce the budget on their own pickled copies, each
+        starting from the parent's reservation count at fan-out time — so
+        during a batch the cap is per-shard, not global.  Merging outcomes
+        calls this to restore exact accounting at join: the reservations are
+        consumed here, and if the merged total has blown the budget the
+        batch fails with ``LLMBudgetExceeded`` just as a shared-memory run
+        would have failed mid-batch.
+        """
+        if queries <= 0:
+            return
+        with self._budget_lock:
+            self._reserved_queries += queries
+            over = (
+                self._query_budget is not None
+                and self._reserved_queries > self._query_budget
+            )
+        if over:
+            raise LLMBudgetExceeded(
+                f"backend {self.model!r} exceeded its query budget of {self._query_budget} "
+                f"across process shards ({self._reserved_queries} queries issued)"
+            )
+
+    # Backends are picklable so they can ride inside process-pool task
+    # payloads; locks are recreated on unpickle.  The worker's copy meters
+    # and records independently of the parent — outcomes that matter travel
+    # back in task return values (see repro.core.tasks).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_budget_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._budget_lock = threading.Lock()
 
 
 __all__ = [

@@ -1,44 +1,128 @@
-"""Deterministic test backends: scripted replies and request recording."""
+"""Deterministic test backends: scripted replies and request recording.
+
+Both backends are **engine-safe**: they may be shared by any number of
+concurrent generation sessions (thread fan-out) or pickled into process-pool
+task payloads, and still behave exactly as they would under a serial run.
+
+The original implementations kept unsynchronized FIFO queues — the reply a
+prompt received depended on how the schedule interleaved ``pop(0)`` calls,
+so they were documented serial-only.  The rewrite keys replies **per
+prompt**, by a stable content digest (:func:`prompt_key`):
+
+* an exact-prompt script (:meth:`ReplayBackend.script`) binds a reply
+  sequence to one specific prompt;
+* a kind-level reply list (:meth:`ReplayBackend.add_reply`) serves *each
+  distinct prompt* of that kind independently: the i-th time one exact
+  prompt is asked it receives the i-th reply (the last reply repeats once
+  the list is exhausted).
+
+Because the reply is a function of (prompt content, per-prompt occurrence
+index) — never of global arrival order — any executor schedule produces the
+same completion for the same prompt.  One scoping rule for process shards:
+occurrence counters are **worker-local** (a pickled copy starts at zero and
+counters are not merged back), so a multi-reply sequence only advances
+within one shard — a prompt that must be asked repeatedly *across* shards
+should be scripted with a single reply, which is also the only pattern
+whose cross-shard semantics are meaningful (shards have no global "i-th
+ask" order to agree on).  Recording appends under a lock, and process
+workers return their recorded exchanges through task outcomes which the
+parent merges at join (:meth:`RecordingBackend.merge_exchanges`), in
+submission order, so the merged transcript is schedule-independent too.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import threading
+from dataclasses import dataclass
 
 from ..errors import LLMProtocolError
 from .backend import Completion, LLMBackend, Prompt
 
 
+def prompt_key(prompt: Prompt) -> str:
+    """A stable content digest identifying one exact prompt.
+
+    Derived from the prompt's kind, subject and full text via SHA-256 — the
+    same prompt hashes identically in every worker process regardless of
+    ``PYTHONHASHSEED``, which is what lets replay scripts and recorded
+    transcripts be keyed consistently across process shards.
+    """
+    digest = hashlib.sha256()
+    for part in (prompt.kind, prompt.subject, prompt.text):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:24]
+
+
 class ReplayBackend(LLMBackend):
-    """Returns canned completions, matched by prompt kind (in order).
+    """Returns canned completions keyed by prompt content.
 
     Useful in unit tests that exercise the pipeline's control flow without
-    depending on the oracle's analysis.  Replies are consumed FIFO per kind;
-    running out of scripted replies raises ``LLMProtocolError``.
+    depending on the oracle's analysis.  A prompt with neither an exact
+    script nor a kind-level reply raises ``LLMProtocolError`` (unless a
+    ``default`` was provided).
     """
 
     def __init__(self, replies: dict[str, list[str]] | None = None, *, default: str | None = None):
         super().__init__(model="replay")
-        self._replies = {kind: list(items) for kind, items in (replies or {}).items()}
+        self._kind_replies: dict[str, list[str]] = {
+            kind: list(items) for kind, items in (replies or {}).items()
+        }
+        self._scripted: dict[str, list[str]] = {}
         self._default = default
+        # Per-prompt occurrence counters (content digest -> times asked).
+        # The lock only orders counter bumps for *identical* concurrent
+        # prompts; distinct prompts never contend on reply choice.
+        self._counts: dict[str, int] = {}
+        self._replay_lock = threading.Lock()
+
+    def script(self, prompt: Prompt, *texts: str) -> None:
+        """Bind a reply sequence to one exact prompt (content-hash keyed)."""
+        if not texts:
+            raise ValueError("script() needs at least one reply text")
+        self._scripted.setdefault(prompt_key(prompt), []).extend(texts)
 
     def add_reply(self, kind: str, text: str) -> None:
-        self._replies.setdefault(kind, []).append(text)
+        """Append a kind-level reply, served per distinct prompt of ``kind``."""
+        self._kind_replies.setdefault(kind, []).append(text)
 
     def complete(self, prompt: Prompt) -> Completion:
-        queue = self._replies.get(prompt.kind)
-        if queue:
-            return Completion(text=queue.pop(0), model=self.model)
+        key = prompt_key(prompt)
+        with self._replay_lock:
+            occurrence = self._counts.get(key, 0)
+            self._counts[key] = occurrence + 1
+        sequence = self._scripted.get(key) or self._kind_replies.get(prompt.kind)
+        if sequence:
+            return Completion(text=sequence[min(occurrence, len(sequence) - 1)], model=self.model)
         if self._default is not None:
             return Completion(text=self._default, model=self.model)
         raise LLMProtocolError(f"no scripted reply for prompt kind {prompt.kind!r}")
 
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state.pop("_replay_lock", None)
+        # Occurrence counters are worker-local by contract (see the module
+        # docstring): a copy starts counting from zero rather than from a
+        # meaningless snapshot of the parent's history.
+        state["_counts"] = {}
+        return state
 
-@dataclass
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._replay_lock = threading.Lock()
+
+
+@dataclass(frozen=True)
 class RecordedExchange:
     """One prompt/completion pair captured by :class:`RecordingBackend`."""
 
     prompt: Prompt
     completion: Completion
+
+    @property
+    def key(self) -> str:
+        return prompt_key(self.prompt)
 
 
 class RecordingBackend(LLMBackend):
@@ -48,14 +132,50 @@ class RecordingBackend(LLMBackend):
         super().__init__(model=f"recording({inner.model})")
         self._inner = inner
         self.exchanges: list[RecordedExchange] = []
+        self._record_lock = threading.Lock()
 
     def complete(self, prompt: Prompt) -> Completion:
         completion = self._inner.query(prompt)
-        self.exchanges.append(RecordedExchange(prompt=prompt, completion=completion))
+        with self._record_lock:
+            self.exchanges.append(RecordedExchange(prompt=prompt, completion=completion))
         return completion
 
+    def merge_exchanges(self, exchanges: list[RecordedExchange]) -> None:
+        """Fold exchanges recorded by a worker-process copy into this backend.
+
+        Callers merge worker outcomes in task-submission order, which keeps
+        the combined transcript identical for any process schedule.
+        """
+        with self._record_lock:
+            self.exchanges.extend(exchanges)
+
+    def take_exchanges(self, start: int = 0) -> list[RecordedExchange]:
+        """Snapshot the exchanges recorded at or after index ``start``."""
+        with self._record_lock:
+            return list(self.exchanges[start:])
+
     def prompts_of_kind(self, kind: str) -> list[Prompt]:
-        return [exchange.prompt for exchange in self.exchanges if exchange.prompt.kind == kind]
+        with self._record_lock:
+            return [exchange.prompt for exchange in self.exchanges if exchange.prompt.kind == kind]
+
+    def exchanges_for(self, prompt: Prompt) -> list[RecordedExchange]:
+        """Every recorded exchange whose prompt content matches ``prompt``."""
+        key = prompt_key(prompt)
+        with self._record_lock:
+            return [exchange for exchange in self.exchanges if exchange.key == key]
+
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state.pop("_record_lock", None)
+        # Workers never need the parent's transcript — shipping it would
+        # grow every task payload by the full recorded history.  A pickled
+        # copy starts empty and returns only what it records itself.
+        state["exchanges"] = []
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._record_lock = threading.Lock()
 
 
-__all__ = ["ReplayBackend", "RecordingBackend", "RecordedExchange"]
+__all__ = ["ReplayBackend", "RecordingBackend", "RecordedExchange", "prompt_key"]

@@ -18,7 +18,7 @@ from .ast import (
 )
 from .constants import BUILTIN_CONSTANTS, ConstantTable
 from .corpus import HandlerCoverage, MissingSpecsReport, SpecCorpus, missing_specs_report
-from .parser import parse_field, parse_suite, parse_syscall, parse_type
+from .parser import parse_field, parse_suite, parse_syscall, parse_type, resolve_resource_refs
 from .serializer import serialize_suite, serialize_syscall
 from .types import (
     ArrayType,
@@ -74,6 +74,7 @@ __all__ = [
     "parse_field",
     "parse_syscall",
     "parse_suite",
+    "resolve_resource_refs",
     "serialize_suite",
     "serialize_syscall",
     # validation

@@ -32,6 +32,7 @@ from .types import (
     FlagsType,
     IntType,
     LenType,
+    NamedTypeRef,
     PtrType,
     ResourceRef,
     StringType,
@@ -270,7 +271,57 @@ def parse_suite(text: str, name: str = "parsed") -> SpecSuite:
             pending_comment = ""
             continue
         raise SyzlangParseError("unrecognised syzlang construct", line=line_no, snippet=stripped)
+    _resolve_resource_refs(suite)
     return suite
+
+
+def _resolve_resource_refs(suite: SpecSuite, resource_names: "set[str] | None" = None) -> None:
+    """Disambiguate bare identifiers once the resource table is known.
+
+    At ``parse_type`` time a bare name like ``fd_dm`` is lexically
+    indistinguishable from a struct/union reference, so it parses as a
+    :class:`NamedTypeRef`.  After the whole document is read, any such
+    reference naming a declared resource is rewritten to a
+    :class:`ResourceRef` — resources may be declared after their first use,
+    so this must be a post-pass.  This is what makes
+    ``parse_suite(serialize_suite(s))`` reproduce ``s`` exactly.
+
+    ``resource_names`` widens the table for *fragments*: a repaired syscall
+    parsed on its own has no resource declarations, so the caller supplies
+    the destination suite's table (see :func:`resolve_resource_refs`).
+    """
+    if resource_names is None:
+        resource_names = set(suite.resources)
+    if not resource_names:
+        return
+
+    def resolve(expr: TypeExpr) -> TypeExpr:
+        if isinstance(expr, NamedTypeRef) and expr.name in resource_names:
+            return ResourceRef(expr.name)
+        if isinstance(expr, PtrType):
+            return PtrType(expr.direction, resolve(expr.elem))
+        if isinstance(expr, ArrayType):
+            return ArrayType(resolve(expr.elem), expr.length)
+        return expr
+
+    def resolve_fields(fields: tuple[Field, ...]) -> tuple[Field, ...]:
+        return tuple(Field(f.name, resolve(f.type), f.attrs) for f in fields)
+
+    for full_name, syscall in list(suite.syscalls.items()):
+        params = tuple(Param(p.name, resolve(p.type)) for p in syscall.params)
+        if params != syscall.params:
+            suite.add_syscall(
+                Syscall(syscall.name, syscall.variant, params, syscall.returns, syscall.comment),
+                replace_existing=True,
+            )
+    for name, struct in list(suite.structs.items()):
+        fields = resolve_fields(struct.fields)
+        if fields != struct.fields:
+            suite.add_struct(StructDef(name, fields, struct.packed), replace_existing=True)
+    for name, union in list(suite.unions.items()):
+        fields = resolve_fields(union.fields)
+        if fields != union.fields:
+            suite.add_union(UnionDef(name, fields), replace_existing=True)
 
 
 def _parse_block(
@@ -303,4 +354,15 @@ def _parse_block(
     raise SyzlangParseError(f"unterminated definition block for {name!r}", line=open_line)
 
 
-__all__ = ["parse_type", "parse_field", "parse_syscall", "parse_suite"]
+def resolve_resource_refs(suite: SpecSuite, resource_names: "set[str]") -> None:
+    """Rewrite bare references in ``suite`` that name a known resource.
+
+    Public entry point for suite *fragments* (e.g. a repaired syscall
+    description) that are parsed without the destination suite's resource
+    declarations: pass the destination's resource table so the fragment's
+    AST matches what a whole-document parse would have produced.
+    """
+    _resolve_resource_refs(suite, resource_names)
+
+
+__all__ = ["parse_type", "parse_field", "parse_syscall", "parse_suite", "resolve_resource_refs"]

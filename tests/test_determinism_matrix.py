@@ -1,0 +1,181 @@
+"""Cross-jobs determinism matrix: jobs x executor must never change output.
+
+The acceptance contract for process sharding: for every combination of
+``jobs ∈ {1, 2, 4}`` and ``executor ∈ {serial, thread, process}``, a
+generation campaign produces byte-identical suites with identical
+session-attributed query counts, and a fuzz campaign produces identical
+coverage/crash results — all compared against a plain engine-less serial
+run.  Executors are constructed explicitly (not via ``create_executor``) so
+the matrix exercises real thread/process pools even on a single-core CI
+host, where the default budget policy would lease them down to one worker.
+"""
+
+import pytest
+
+from repro.core import KernelGPT
+from repro.engine import (
+    ExecutionEngine,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+)
+from repro.fuzzer import run_repeated_campaigns
+from repro.llm import OracleBackend, Prompt, RecordingBackend, ReplayBackend
+
+#: Small but representative: a repair-heavy driver (cec), a delegating
+#: driver (dm), a socket handler (rds) and a plain driver (udmabuf).
+HANDLERS = ["dm_ctl_fops", "cec_devnode_fops", "rds_proto_ops", "udmabuf_fops"]
+
+JOBS_LEVELS = (1, 2, 4)
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def _engine(kind: str, jobs: int) -> ExecutionEngine:
+    if kind == "serial" or jobs <= 1:
+        executor = SerialExecutor()
+    elif kind == "thread":
+        executor = ThreadPoolExecutor(jobs)
+    else:
+        executor = ProcessPoolExecutor(jobs)
+    return ExecutionEngine(jobs=jobs, executor=executor)
+
+
+# ------------------------------------------------------------- generation
+@pytest.fixture(scope="module")
+def generation_baseline(small_kernel, extractor):
+    """The engine-less serial run every matrix cell must reproduce."""
+    generator = KernelGPT(small_kernel, OracleBackend(), extractor=extractor)
+    run = generator.generate_for_handlers(HANDLERS)
+    suites = {handler: result.suite_text() for handler, result in run.results.items()}
+    queries = {handler: result.queries for handler, result in run.results.items()}
+    return suites, queries, run.usage_summary()
+
+
+@pytest.mark.parametrize("jobs", JOBS_LEVELS)
+@pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+def test_generation_matrix_is_byte_identical(small_kernel, extractor, generation_baseline, kind, jobs):
+    baseline_suites, baseline_queries, baseline_usage = generation_baseline
+    engine = _engine(kind, jobs)
+    generator = KernelGPT(small_kernel, OracleBackend(), extractor=extractor, engine=engine)
+    run = generator.generate_for_handlers(HANDLERS, engine=engine)
+
+    suites = {handler: result.suite_text() for handler, result in run.results.items()}
+    queries = {handler: result.queries for handler, result in run.results.items()}
+    assert list(suites) == list(baseline_suites)      # handler order preserved
+    assert suites == baseline_suites                  # byte-identical suites
+    assert queries == baseline_queries                # identical query counts
+    assert run.usage_summary() == baseline_usage      # derived usage identical
+
+
+def test_process_generation_enforces_query_budget_at_join(small_kernel, extractor):
+    """A blown query budget fails the batch in process mode too.
+
+    Worker copies enforce the budget per shard during the batch; the join
+    charges the merged total against the parent's reservations, so the run
+    still ends in LLMBudgetExceeded exactly like a shared-memory run.
+    """
+    from repro.errors import LLMBudgetExceeded
+
+    # HANDLERS need ~100 queries total but no single handler needs more
+    # than ~35, so a budget of 60 passes every per-shard check and the
+    # violation is only detectable at the merge — which must raise.
+    backend = OracleBackend(query_budget=60)
+    generator = KernelGPT(small_kernel, backend, extractor=extractor)
+    with pytest.raises(LLMBudgetExceeded):
+        generator.generate_for_handlers(HANDLERS, engine=_engine("process", 2))
+    # Usage/exchange merging still happened before the raise.
+    assert backend.usage.queries > 60
+
+
+def test_pickled_recording_backend_starts_with_empty_transcript(small_kernel, extractor):
+    """Task payloads must not ship the parent's accumulated exchanges."""
+    import pickle
+
+    backend = RecordingBackend(OracleBackend())
+    backend.query(Prompt(kind="identifier", subject="x", text="## Registration\nnothing\n"))
+    assert len(backend.exchanges) == 1
+    clone = pickle.loads(pickle.dumps(backend))
+    assert clone.exchanges == []
+
+
+def test_process_generation_merges_worker_side_effects(small_kernel, extractor):
+    """Process workers' usage and exchanges come back to the parent backend."""
+    backend = RecordingBackend(OracleBackend())
+    engine = _engine("process", 2)
+    generator = KernelGPT(small_kernel, backend, extractor=extractor)
+    run = generator.generate_for_handlers(HANDLERS, engine=engine)
+    assert set(run.results) == set(HANDLERS)
+    # Workers run engine-less (no memo cache), so merged usage equals the
+    # session-attributed totals exactly.
+    assert backend.usage.queries == sum(r.queries for r in run.results.values())
+    assert len(backend.exchanges) == backend.usage.queries
+    # The merged transcript is in task-submission order: every handler's
+    # prompts appear, grouped per task.
+    subjects = {exchange.prompt.subject for exchange in backend.exchanges}
+    assert subjects.issuperset({"dm_ctl_fops", "rds_proto_ops"})
+
+
+# ---------------------------------------------------------- fuzz campaigns
+@pytest.fixture(scope="module")
+def campaign_inputs(small_kernel, syzkaller_corpus):
+    return small_kernel, syzkaller_corpus.flatten("syzkaller")
+
+
+@pytest.fixture(scope="module")
+def campaign_baseline(campaign_inputs):
+    kernel, suite = campaign_inputs
+    campaigns = run_repeated_campaigns(kernel, suite, repetitions=2, budget_programs=120, base_seed=13)
+    return [
+        (c.seed, sorted(c.coverage), sorted(c.crash_log.bug_ids()), c.executed_programs)
+        for c in campaigns
+    ]
+
+
+@pytest.mark.parametrize("jobs", JOBS_LEVELS)
+@pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+def test_campaign_matrix_is_identical(campaign_inputs, campaign_baseline, kind, jobs):
+    kernel, suite = campaign_inputs
+    campaigns = run_repeated_campaigns(
+        kernel, suite, repetitions=2, budget_programs=120, base_seed=13,
+        engine=_engine(kind, jobs),
+    )
+    observed = [
+        (c.seed, sorted(c.coverage), sorted(c.crash_log.bug_ids()), c.executed_programs)
+        for c in campaigns
+    ]
+    assert observed == campaign_baseline
+
+
+# ------------------------------------------------------------- replay path
+def _scripted_backend() -> ReplayBackend:
+    backend = ReplayBackend(default="## IDENTIFIERS\n(none)\n## UNKNOWN\n(none)\n")
+    backend.script(
+        Prompt(kind="identifier", subject="h0", text="probe-0"),
+        "## IDENTIFIERS\n- IDENT: CMD_ZERO | SYSCALL: ioctl\n## UNKNOWN\n(none)\n",
+    )
+    return backend
+
+
+@pytest.mark.parametrize("jobs", JOBS_LEVELS)
+@pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+def test_replay_backend_is_engine_safe(kind, jobs):
+    """Content-keyed replay serves the same reply at any jobs level."""
+    from repro.engine import TaskSpec
+
+    backend = _scripted_backend()
+    engine = _engine(kind, jobs)
+    prompts = [Prompt(kind="identifier", subject=f"h{i}", text=f"probe-{i}") for i in range(8)]
+    tasks = [TaskSpec(key=p.subject, fn=backend.query, args=(p,)) for p in prompts]
+    if not engine.shares_memory:
+        # Process workers get pickled backend copies; replies are pure
+        # functions of prompt content, so the kind of pool changes nothing.
+        tasks = [TaskSpec(key=p.subject, fn=_query_scripted, args=(p,)) for p in prompts]
+    results = engine.run_tasks("replay", tasks)
+    texts = [r.value.text for r in results]
+    assert "CMD_ZERO" in texts[0]
+    assert all("(none)" in text for text in texts[1:])
+
+
+def _query_scripted(prompt: Prompt):
+    """Module-level so process pools can pickle the replay task."""
+    return _scripted_backend().query(prompt)

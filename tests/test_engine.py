@@ -12,12 +12,16 @@ import pytest
 from repro.core import KernelGPT
 from repro.engine import (
     ExecutionEngine,
+    GlobalWorkerBudget,
     MemoCache,
+    ProcessPoolExecutor,
     SerialExecutor,
     TaskSpec,
     ThreadPoolExecutor,
     create_executor,
     derive_seed,
+    get_global_worker_budget,
+    set_global_worker_budget,
 )
 from repro.fuzzer import (
     merge_campaigns,
@@ -74,13 +78,97 @@ def test_executor_captures_errors_without_aborting_siblings():
 
 def test_create_executor_kinds():
     assert create_executor(1).name == "serial"
-    # cap_to_cpus=False sidesteps the host-CPU clamp so the test is
+    # cap_to_cpus=False sidesteps the worker budget so the test is
     # independent of how many cores the CI box happens to have.
     assert create_executor(4, cap_to_cpus=False).name == "thread"
     assert create_executor(4, "process", cap_to_cpus=False).name == "process"
     assert create_executor(4, cap_to_cpus=True).jobs <= max(4, 1)
     with pytest.raises(ValueError):
         create_executor(4, "quantum")
+
+
+def test_executor_memory_sharing_flags():
+    assert SerialExecutor().shares_memory
+    assert ThreadPoolExecutor(2).shares_memory
+    assert not ProcessPoolExecutor(2).shares_memory
+    assert ExecutionEngine(jobs=2, executor=ProcessPoolExecutor(2)).shares_memory is False
+
+
+# -------------------------------------------------------------------- budget
+def test_worker_budget_leases_and_releases():
+    budget = GlobalWorkerBudget(limit=4)
+    assert budget.lease(3) == 3
+    assert budget.lease(3) == 1          # only 1 slot left
+    # Exhausted budgets still grant one worker: nested pools must always be
+    # able to make progress (deadlock-freedom beats strict capping).
+    assert budget.lease(2) == 1
+    assert budget.leased == 5
+    budget.release(5)
+    assert budget.leased == 0
+    assert budget.stats()["peak"] == 5
+
+
+def test_worker_budget_caps_pool_size():
+    budget = GlobalWorkerBudget(limit=2)
+    observed = []
+
+    def probe(i):
+        observed.append(threading.current_thread().name)
+        return i
+
+    pool = ThreadPoolExecutor(8, budget=budget)
+    results = pool.run([TaskSpec(key=str(i), fn=probe, args=(i,)) for i in range(16)])
+    assert [r.value for r in results] == list(range(16))
+    assert len(set(observed)) <= 2        # pool leased at most 2 workers
+    assert budget.leased == 0             # fully released after the batch
+
+
+def test_worker_budget_is_shared_across_nested_pools():
+    budget = GlobalWorkerBudget(limit=3)
+
+    def inner_batch(i):
+        inner = ThreadPoolExecutor(4, budget=budget)
+        inner_results = inner.run([TaskSpec(key=f"{i}.{j}", fn=lambda j=j: j) for j in range(4)])
+        return [r.value for r in inner_results]
+
+    outer = ThreadPoolExecutor(3, budget=budget)
+    results = outer.run([TaskSpec(key=str(i), fn=inner_batch, args=(i,)) for i in range(3)])
+    assert [r.value for r in results] == [[0, 1, 2, 3]] * 3
+    assert budget.leased == 0
+    # Outer leased up to 3; each inner pool could only add its deadlock-
+    # freedom minimum of one, so the peak stays bounded by limit + nesting.
+    assert budget.peak <= 3 + 3
+
+
+def test_default_budget_swap_roundtrip():
+    original = get_global_worker_budget()
+    replacement = GlobalWorkerBudget(limit=2)
+    assert set_global_worker_budget(replacement) is original
+    try:
+        assert get_global_worker_budget() is replacement
+    finally:
+        set_global_worker_budget(original)
+
+
+# ------------------------------------------------------------------ pickling
+def test_generator_and_backends_are_picklable(small_kernel, extractor):
+    import pickle
+
+    from repro.llm import RecordingBackend, ReplayBackend
+
+    engine = ExecutionEngine(jobs=2)
+    generator = KernelGPT(small_kernel, OracleBackend(), extractor=extractor, engine=engine)
+    clone = pickle.loads(pickle.dumps(generator))
+    assert clone.engine is None           # engines never cross process bounds
+    assert clone.backend.usage.queries == 0
+
+    recording = RecordingBackend(ReplayBackend(default="## UNKNOWN\n(none)\n"))
+    restored = pickle.loads(pickle.dumps(recording))
+    from repro.llm import Prompt
+
+    completion = restored.query(Prompt(kind="identifier", subject="s", text="t"))
+    assert "(none)" in completion.text
+    assert len(restored.exchanges) == 1
 
 
 # --------------------------------------------------------------------- cache

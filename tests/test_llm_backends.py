@@ -118,3 +118,68 @@ def test_replay_and_recording_backends():
     assert len(recorder.exchanges) == 1
     with pytest.raises(LLMProtocolError):
         replay.query(Prompt(kind="type", subject="s", text="hello"))
+
+
+def test_replay_replies_are_keyed_by_prompt_content():
+    """Replies depend on prompt content + per-prompt occurrence, never on
+    global arrival order — the property that makes the backend engine-safe."""
+    from repro.llm import prompt_key
+
+    first = Prompt(kind="identifier", subject="a", text="one")
+    second = Prompt(kind="identifier", subject="b", text="two")
+    assert prompt_key(first) != prompt_key(second)
+    assert prompt_key(first) == prompt_key(Prompt(kind="identifier", subject="a", text="one"))
+
+    replay = ReplayBackend({"identifier": ["reply-0", "reply-1"]})
+    # Interleaving distinct prompts does not steal each other's replies:
+    # each distinct prompt starts its own sequence.
+    assert replay.query(first).text == "reply-0"
+    assert replay.query(second).text == "reply-0"
+    assert replay.query(first).text == "reply-1"
+    assert replay.query(second).text == "reply-1"
+    # The last reply repeats once a prompt's sequence is exhausted.
+    assert replay.query(first).text == "reply-1"
+
+
+def test_replay_exact_prompt_scripts_win_over_kind_replies():
+    probe = Prompt(kind="identifier", subject="x", text="special")
+    replay = ReplayBackend({"identifier": ["generic"]})
+    replay.script(probe, "scripted-0", "scripted-1")
+    assert replay.query(probe).text == "scripted-0"
+    assert replay.query(probe).text == "scripted-1"
+    assert replay.query(Prompt(kind="identifier", subject="x", text="plain")).text == "generic"
+
+
+def test_replay_is_schedule_independent_under_threads():
+    import threading
+
+    replay = ReplayBackend(default="fallback")
+    prompts = [Prompt(kind="identifier", subject=f"s{i}", text=f"t{i}") for i in range(6)]
+    for i, prompt in enumerate(prompts):
+        replay.script(prompt, f"reply-{i}")
+
+    answers: dict[int, str] = {}
+    barrier = threading.Barrier(6)
+
+    def worker(index: int) -> None:
+        barrier.wait()
+        answers[index] = replay.query(prompts[index]).text
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert answers == {i: f"reply-{i}" for i in range(6)}
+
+
+def test_recording_backend_merges_worker_exchanges():
+    from repro.llm import OracleBackend as Oracle
+
+    parent = RecordingBackend(Oracle())
+    worker = RecordingBackend(Oracle())
+    prompt = Prompt(kind="identifier", subject="w", text="## Registration\nnothing\n")
+    worker.query(prompt)
+    parent.merge_exchanges(worker.take_exchanges())
+    assert len(parent.exchanges) == 1
+    assert parent.exchanges_for(prompt)[0].prompt.subject == "w"
