@@ -133,6 +133,95 @@ def test_thread_vs_process_scaling(ctx):
           f"on {__import__('os').cpu_count()} core(s)")
 
 
+def test_batched_vs_per_query_rows(ctx):
+    """Batched stage submission vs per-query submission, identical outputs.
+
+    The two rows compare the batched protocol (each stage's prompts as one
+    ``complete_batch``, the type stage as a wavefront) against the strictly
+    per-query schedule on the full generation run.  With the in-process
+    oracle the win is bounded (no network round-trips to amortize) — the
+    rows exist to pin the overhead at ~zero and the outputs at
+    byte-identical; against a real provider the batched path is the one
+    that amortizes per-call cost.  CI uploads these rows as an artifact.
+    """
+    _warm(ctx)
+    rows = {}
+    for label, batched in (("per-query", False), ("batched", True)):
+        engine = ExecutionEngine(jobs=1)
+        generator = KernelGPT(
+            ctx.kernel, OracleBackend(), extractor=ctx.extractor,
+            engine=engine, batch_queries=batched,
+        )
+        started = time.perf_counter()
+        run = generator.generate_for_handlers(list(ctx.selection.all_handlers), engine=engine)
+        seconds = time.perf_counter() - started
+        stats = engine.cache_stats()["llm"]
+        rows[label] = (seconds, run, stats)
+    per_query_suites = {h: r.suite_text() for h, r in rows["per-query"][1].results.items()}
+    batched_suites = {h: r.suite_text() for h, r in rows["batched"][1].results.items()}
+    assert batched_suites == per_query_suites
+    print()
+    for label, (seconds, run, stats) in rows.items():
+        print(f"{label:9s} {seconds:.2f}s  handlers={len(run.results)}  "
+              f"llm-cache {stats['hits']} hits / {stats['misses']} misses")
+    ratio = rows["per-query"][0] / max(rows["batched"][0], 1e-9)
+    print(f"batched vs per-query: {ratio:.2f}x (byte-identical suites)")
+
+
+def test_pool_fanout_matches_sequential_backends(ctx):
+    """One pool-routed engine batch == three sequential per-backend runs.
+
+    The §5.2.3 shape: the same drivers generated under every capability
+    profile, once through a routed ``BackendPool`` in a single engine
+    fan-out, once the historical way (one generator per backend, run after
+    run).  Outputs must match per (profile, driver) pair; the wall times
+    are printed for the comparison row.
+    """
+    from repro.core.tasks import GenerationTask, run_generation_task
+    from repro.engine import TaskSpec
+    from repro.llm import BackendPool, DegradedBackend
+
+    _warm(ctx)
+    labels = ("gpt-4", "gpt-4o", "gpt-3.5")
+    factories = {"gpt-4": DegradedBackend.gpt4, "gpt-4o": DegradedBackend.gpt4o,
+                 "gpt-3.5": DegradedBackend.gpt35}
+    handlers = [ctx.kernel.record_for_name(name).handler_name for name in TABLE5_DRIVER_NAMES]
+
+    started = time.perf_counter()
+    sequential = {}
+    for label in labels:
+        generator = KernelGPT(ctx.kernel, factories[label](), extractor=ctx.extractor)
+        for handler in handlers:
+            sequential[(label, handler)] = generator.generate_for_handler(handler).suite_text()
+    sequential_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    engine = ExecutionEngine(jobs=4)
+    pool = BackendPool({label: factories[label]() for label in labels})
+    generators = {
+        label: KernelGPT(ctx.kernel, pool, extractor=ctx.extractor, backend_route=label)
+        for label in labels
+    }
+    specs = [
+        TaskSpec(key=f"{label}:{handler}", fn=run_generation_task,
+                 args=(generators[label], GenerationTask(handler), engine))
+        for label in labels for handler in handlers
+    ]
+    outcomes = [result.value for result in engine.run_tasks("pool-fanout", specs)]
+    pooled_seconds = time.perf_counter() - started
+    pooled = {
+        (label, handler): outcome.result.suite_text()
+        for (label, handler), outcome in zip(
+            [(label, handler) for label in labels for handler in handlers], outcomes
+        )
+    }
+    assert pooled == sequential
+    print()
+    print(f"sequential 3-backend runs {sequential_seconds:.2f}s vs "
+          f"pool-routed engine fan-out {pooled_seconds:.2f}s "
+          f"({len(labels)} profiles x {len(handlers)} drivers)")
+
+
 def test_parallel_is_deterministic_and_faster(ctx):
     """jobs=4 reproduces the serial results bit-for-bit, in less wall time."""
     _warm(ctx)

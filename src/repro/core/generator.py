@@ -20,13 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..engine import ExecutionEngine, TaskSpec, resolve_engine
+from ..engine import ExecutionEngine, POOL_PAYLOAD, TaskSpec, resolve_engine
 from ..errors import ExtractionError, GenerationError, SyzlangParseError
 from ..extractor import HandlerInfo, KernelExtractor
 from ..kernel import KernelCodebase
 from ..llm import (
     Completion,
     LLMBackend,
+    LLMRequest,
     OracleBackend,
     Prompt,
     PromptLibrary,
@@ -161,6 +162,8 @@ class KernelGPT:
         repair_rounds: int = 3,
         repair: bool = True,
         engine: ExecutionEngine | None = None,
+        batch_queries: bool = True,
+        backend_route: str | None = None,
     ):
         self.kernel = kernel
         self.backend = backend or OracleBackend()
@@ -170,6 +173,14 @@ class KernelGPT:
         self.repair_rounds = repair_rounds
         self.repair_enabled = repair
         self.engine = engine
+        #: Submit each pipeline stage's prompts as one batch (the type
+        #: stage's per-op loops run as a wavefront).  Byte-identical to
+        #: per-query submission; off reproduces the per-query schedule.
+        self.batch_queries = batch_queries
+        #: Routing tag stamped on every request this generator issues — how
+        #: a pool-backed generator selects its member capability profile
+        #: (see :class:`~repro.llm.BackendPool`).  None for plain backends.
+        self.backend_route = backend_route
         self._constants = self.extractor.constants()
         self._validator = SpecValidator(self._constants, warn_unused=False)
 
@@ -189,8 +200,8 @@ class KernelGPT:
     def query(self, prompt: Prompt) -> Completion:
         """One LLM query, memoized by the engine's single-flight cache if present."""
         if self.engine is not None:
-            return self.engine.cached_query(self.backend, prompt)
-        return self.backend.query(prompt)
+            return self.engine.cached_query(self.backend, prompt, route=self.backend_route)
+        return self.backend.complete_batch((LLMRequest(prompt=prompt, route=self.backend_route),))[0]
 
     def extract_code(self, identifier: str) -> str:
         """One extractor lookup, memoized by the engine cache if present."""
@@ -277,16 +288,23 @@ class KernelGPT:
         if engine is None:
             return [run_generation_task(self, task).result for task in tasks]
         shared = engine.shares_memory
+        # The generator is the batch's shared payload: in-memory executors
+        # pass it by reference, process pools pickle it once per worker via
+        # the pool initializer (instead of once per task in every args
+        # tuple) and workers resolve the sentinel against their copy.
         specs = [
             TaskSpec(
                 key=f"{task.handler_name}@{task.mode}",
                 fn=run_generation_task,
-                args=(self, task, engine if shared else None),
+                args=(POOL_PAYLOAD, task, engine if shared else None),
                 kwargs=None if shared else {"collect_side_effects": True},
             )
             for task in tasks
         ]
-        outcomes = [result.value for result in engine.run_tasks("generation", specs)]
+        outcomes = [
+            result.value
+            for result in engine.run_tasks("generation", specs, payload=self)
+        ]
         if not shared:
             merge_outcome_side_effects(self.backend, outcomes)
         return [outcome.result for outcome in outcomes]

@@ -10,7 +10,7 @@ not grow the prompt, mirroring the paper's path-caching implementation note.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..errors import ExtractionError
 from ..extractor import KernelExtractor
@@ -18,6 +18,15 @@ from ..llm import LLMBackend, ParsedReply, Prompt, UnknownItem, parse_reply
 
 #: Default iteration bound (MAX_ITER in Algorithm 1).
 DEFAULT_MAX_ITERATIONS = 5
+
+#: One analysis loop as data: (build_prompt, initial_code, on_reply) — the
+#: exact arguments one :meth:`IterativeAnalyzer.run` call takes, so a stage
+#: can collect its loops and submit them as one batched wavefront.
+AnalysisRun = tuple[
+    Callable[[str, "list[UnknownItem]"], Prompt],
+    str,
+    Callable[[ParsedReply], None],
+]
 
 
 @dataclass
@@ -102,5 +111,71 @@ class IterativeAnalyzer:
             code = code + "\n\n" + "\n\n".join(additions)
         return trace
 
+    def run_many(self, runs: "Sequence[AnalysisRun]") -> list[IterationTrace]:
+        """Run several analysis loops as one batched wavefront.
 
-__all__ = ["IterativeAnalyzer", "IterationTrace", "DEFAULT_MAX_ITERATIONS"]
+        Per wavefront round, every still-active loop builds its prompt and
+        the whole round is submitted as **one batch** through the backend's
+        ``query_batch`` (per-prompt ``query`` when the backend has none);
+        each loop then advances its own Algorithm-1 state exactly as
+        :meth:`run` would.  The loops must be independent — prompt
+        construction may not read another loop's ``on_reply`` side effects —
+        which holds for the pipeline stages by design (prompts are functions
+        of the accumulated code and unknowns only).
+
+        To stay byte-identical with running the loops serially, ``on_reply``
+        callbacks are deferred and applied after all loops converge, in run
+        order (run 0's replies in iteration order, then run 1's, ...): the
+        exact mutation order a serial caller produces, even though replies
+        arrived round-major.
+        """
+        states = [
+            {
+                "build_prompt": build_prompt,
+                "code": initial_code,
+                "on_reply": on_reply,
+                "unknowns": [],
+                "extracted": set(),
+                "trace": IterationTrace(),
+                "done": False,
+            }
+            for build_prompt, initial_code, on_reply in runs
+        ]
+        query_batch = getattr(self._backend, "query_batch", None)
+        for _ in range(self._max_iterations):
+            active = [state for state in states if not state["done"]]
+            if not active:
+                break
+            prompts = [state["build_prompt"](state["code"], state["unknowns"]) for state in active]
+            if query_batch is not None:
+                completions = query_batch(prompts)
+            else:
+                completions = [self._backend.query(prompt) for prompt in prompts]
+            for state, prompt, completion in zip(active, prompts, completions):
+                reply = parse_reply(completion.text)
+                state["trace"].prompts.append(prompt)
+                state["trace"].replies.append(reply)
+                pending = [item for item in reply.unknowns if item.name not in state["extracted"]]
+                if not pending:
+                    state["done"] = True
+                    continue
+                state["unknowns"] = pending
+                additions: list[str] = []
+                for item in pending:
+                    state["extracted"].add(item.name)
+                    try:
+                        additions.append(self._extract(item.name))
+                        state["trace"].resolved_unknowns.append(item.name)
+                    except ExtractionError:
+                        state["trace"].unresolved_unknowns.append(item.name)
+                if not additions:
+                    state["done"] = True
+                    continue
+                state["code"] = state["code"] + "\n\n" + "\n\n".join(additions)
+        for state in states:
+            for reply in state["trace"].replies:
+                state["on_reply"](reply)
+        return [state["trace"] for state in states]
+
+
+__all__ = ["IterativeAnalyzer", "IterationTrace", "AnalysisRun", "DEFAULT_MAX_ITERATIONS"]

@@ -31,7 +31,7 @@ from contextlib import nullcontext
 
 from ..errors import ExtractionError
 from ..extractor import HandlerInfo
-from ..llm import Completion, ParsedReply, Prompt, parse_reply
+from ..llm import Completion, LLMRequest, ParsedReply, Prompt, parse_reply
 from .iterative import IterativeAnalyzer
 
 
@@ -41,11 +41,22 @@ class GenerationSession:
     ``engine`` overrides the owning generator's engine for this session —
     the fan-out path uses it so that a ``jobs=N`` run on an engine-less
     generator still memoizes through the engine doing the scheduling.
+
+    Queries flow through the **batched** protocol: :meth:`query_batch`
+    wraps prompts into routed :class:`~repro.llm.LLMRequest`\\ s and submits
+    them as one ``complete_batch`` (memoized per distinct prompt by
+    :meth:`~repro.engine.ExecutionEngine.cached_query_batch` when an engine
+    is present); :meth:`query` is the one-element case.  With ``batched``
+    (the generator's ``batch_queries`` knob, on by default) the pipeline
+    stages submit all their per-handler prompts of a stage as one batch —
+    the type stage's per-operation loops run as a wavefront — and are
+    byte-identical to per-query submission by construction.
     """
 
-    def __init__(self, gpt, handler_name: str, *, engine=None):
+    def __init__(self, gpt, handler_name: str, *, engine=None, batched: bool | None = None):
         self.gpt = gpt
         self.engine = engine if engine is not None else gpt.engine
+        self.batched = batched if batched is not None else getattr(gpt, "batch_queries", True)
         self.handler_name = handler_name
         #: Usage issued by this session (the per-result attribution the
         #: old ``usage.queries`` before/after delta provided, made local).
@@ -64,16 +75,38 @@ class GenerationSession:
         )
 
     # ------------------------------------------------------- backend facade
-    def query(self, prompt: Prompt) -> Completion:
-        """Issue one LLM query, attributed to this session."""
-        self.queries += 1
-        self.input_tokens += prompt.approximate_tokens()
+    def query_batch(self, prompts) -> list[Completion]:
+        """Issue a batch of LLM queries, attributed to this session.
+
+        Every prompt is wrapped into an :class:`~repro.llm.LLMRequest`
+        carrying the generator's routing tag (``backend_route``), so a
+        pool-backed generator steers its whole pipeline to one member
+        profile.  Attribution counts every request — cache hits included —
+        exactly like the serial per-query path.
+        """
+        requests = [
+            item
+            if isinstance(item, LLMRequest)
+            else LLMRequest(prompt=item, route=self.gpt.backend_route)
+            for item in prompts
+        ]
+        if not requests:
+            return []
+        self.queries += len(requests)
+        self.input_tokens += sum(request.prompt.approximate_tokens() for request in requests)
         if self.engine is not None:
-            completion = self.engine.cached_query(self.gpt.backend, prompt)
+            completions = self.engine.cached_query_batch(self.gpt.backend, requests)
         else:
-            completion = self.gpt.backend.query(prompt)
-        self.output_tokens += completion.approximate_tokens()
-        return completion
+            completions = self.gpt.backend.complete_batch(requests)
+        self.output_tokens += sum(completion.approximate_tokens() for completion in completions)
+        return completions
+
+    def query(self, prompt: Prompt) -> Completion:
+        """Issue one LLM query (a one-element batch), attributed to this session."""
+        return self.query_batch((prompt,))[0]
+
+    def parse_query_batch(self, prompts) -> list[ParsedReply]:
+        return [parse_reply(completion.text) for completion in self.query_batch(prompts)]
 
     def parse_query(self, prompt: Prompt) -> ParsedReply:
         return parse_reply(self.query(prompt).text)
@@ -159,22 +192,37 @@ class GenerationSession:
                     )
                 )
 
-        self.analyzer.run(
-            lambda code, unknowns: gpt.prompts.identifier_prompt(
+        def build_prompt(code, unknowns):
+            return gpt.prompts.identifier_prompt(
                 info.handler_name,
                 kind=info.kind,
                 registration=registration,
                 code=code,
                 unknowns=unknowns,
-            ),
-            initial_code=initial_code,
-            on_reply=on_reply,
-        )
+            )
+
+        if self.batched:
+            # One analysis loop, but routed through the wavefront so each
+            # iteration's prompt is submitted as a (one-element) batch.
+            self.analyzer.run_many([(build_prompt, initial_code, on_reply)])
+        else:
+            self.analyzer.run(build_prompt, initial_code=initial_code, on_reply=on_reply)
         return ops, device_path, socket_identity
 
     # ------------------------------------------------------------ stage 2
     def type_stage(self, info: HandlerInfo, ops) -> None:
+        """Recover argument types: one analysis loop per discovered operation.
+
+        The per-operation loops are independent (each prompt is a function
+        of that operation's code and unknowns only), so a batched session
+        runs them as one wavefront — every round submits all still-active
+        operations' prompts as a single batch.  ``run_many`` applies the
+        reply callbacks in operation order afterwards, which keeps the
+        typedef accumulator's insertion order — and therefore the serialized
+        suite bytes — identical to the per-query path.
+        """
         gpt = self.gpt
+        runs = []
         for op in ops:
             if op.syscall in ("poll", "accept"):
                 op.arg_type = "none"
@@ -192,16 +240,22 @@ class GenerationSession:
                 for struct_name, text in reply.typedefs:
                     self.pending_typedefs[struct_name] = text
 
-            self.analyzer.run(
-                lambda code_text, unknowns, op=op: gpt.prompts.type_prompt(
+            def build_prompt(code_text, unknowns, op=op):
+                return gpt.prompts.type_prompt(
                     info.handler_name,
                     identifier=op.identifier,
                     code=code_text,
                     unknowns=unknowns,
-                ),
-                initial_code=code,
-                on_reply=on_reply,
-            )
+                )
+
+            runs.append((build_prompt, code, on_reply))
+        if not runs:
+            return
+        if self.batched:
+            self.analyzer.run_many(runs)
+        else:
+            for build_prompt, code, on_reply in runs:
+                self.analyzer.run(build_prompt, initial_code=code, on_reply=on_reply)
 
     # ------------------------------------------------------------ stage 3
     def dependency_stage(self, info: HandlerInfo, ops) -> None:
@@ -214,7 +268,9 @@ class GenerationSession:
         if not blocks:
             return
         prompt = gpt.prompts.dependency_prompt(info.handler_name, code="\n\n".join(blocks))
-        reply = self.parse_query(prompt)
+        # The stage has exactly one prompt per handler; submit it as a batch
+        # so the backend sees batch granularity end to end.
+        reply = self.parse_query_batch((prompt,))[0]
         for record in reply.dependencies:
             identifier = record.get("IDENT", "")
             for op in ops:

@@ -25,7 +25,7 @@ from .executors import (
     execute_task,
 )
 from .profile import EngineProfile, StageStats
-from .tasks import TaskResult, TaskSpec, derive_seed
+from .tasks import POOL_PAYLOAD, TaskResult, TaskSpec, derive_seed, substitute_payload
 
 __all__ = [
     "ExecutionEngine",
@@ -46,4 +46,6 @@ __all__ = [
     "TaskSpec",
     "TaskResult",
     "derive_seed",
+    "POOL_PAYLOAD",
+    "substitute_payload",
 ]

@@ -12,6 +12,12 @@ that hole without reintroducing shared-pool deadlocks:
 * a lease is **never blocking** and always grants at least one worker, so a
   nested pool can always make progress even when the budget is exhausted —
   the worst case is one extra worker per nesting level, not a deadlock;
+* a pool worker that fans out a *nested* pool is itself blocked for the
+  nested batch's whole duration, contributing nothing — so it **donates**
+  the slot it holds back to the budget while the nested pool runs
+  (:meth:`GlobalWorkerBudget.reclaimed_for_nested`) and takes it back
+  afterwards.  With donation the effective concurrency bound of nested
+  fan-out is exactly ``limit``, not ``limit + one per nesting level``;
 * the budget is advisory concurrency control only: it changes *how many*
   workers run at once, never *what* they compute, so any grant sequence
   produces byte-identical results (executors still return submission order).
@@ -25,6 +31,20 @@ from __future__ import annotations
 import os
 import threading
 from contextlib import contextmanager
+
+#: Which budgets the current thread holds a leased worker slot of.  Pool
+#: executors mark their worker threads for the duration of each task
+#: (:meth:`GlobalWorkerBudget.held_slot`); nested leases on the same thread
+#: use the mark to donate the blocked parent's slot.  Thread-local, so the
+#: marking needs no locks and cannot leak across workers.
+_held = threading.local()
+
+
+def _held_budgets() -> list:
+    budgets = getattr(_held, "budgets", None)
+    if budgets is None:
+        budgets = _held.budgets = []
+    return budgets
 
 
 class GlobalWorkerBudget:
@@ -63,6 +83,48 @@ class GlobalWorkerBudget:
             yield granted
         finally:
             self.release(granted)
+
+    @contextmanager
+    def held_slot(self):
+        """Mark the current thread as occupying one of this budget's slots.
+
+        Pool executors wrap each task execution in this so that a task which
+        fans out a nested pool can be recognized as a slot holder and donate
+        its slot for the nested batch (see :meth:`reclaimed_for_nested`).
+        """
+        budgets = _held_budgets()
+        budgets.append(self)
+        try:
+            yield
+        finally:
+            budgets.remove(self)
+
+    @contextmanager
+    def reclaimed_for_nested(self):
+        """Donate the calling worker's slot while a nested batch runs.
+
+        If the current thread holds one of this budget's slots (it is a pool
+        worker mid-task), the slot returns to the budget for the duration of
+        the block — the thread is about to block on the nested pool's
+        futures, so the nested workers, not the parent, should own the
+        concurrency.  The slot is taken back on exit (after the nested lease
+        released), restoring the parent's claim before it resumes computing.
+        No-op on threads that hold no slot (top-level callers).
+        """
+        budgets = _held_budgets()
+        donated = self in budgets
+        if donated:
+            budgets.remove(self)
+            with self._lock:
+                self._leased = max(0, self._leased - 1)
+        try:
+            yield
+        finally:
+            if donated:
+                with self._lock:
+                    self._leased += 1
+                    self.peak = max(self.peak, self._leased)
+                budgets.append(self)
 
     @property
     def leased(self) -> int:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Sequence
 
 
 @dataclass
@@ -103,6 +103,66 @@ class MemoCache:
         with self._lock:
             self.stats.hits += 1
         return entry.value
+
+    def get_or_compute_many(
+        self,
+        keys: "Sequence[Hashable]",
+        compute_many: "Callable[[list[int]], Sequence[Any]]",
+    ) -> list[Any]:
+        """Batched :meth:`get_or_compute`: one compute call for all misses.
+
+        The caller becomes the owner of every key that has no entry yet
+        (first occurrence only — duplicate keys within ``keys`` collapse to
+        one owned slot) and ``compute_many(owned_positions)`` produces their
+        values in one call, where ``owned_positions`` are indices into
+        ``keys``.  Keys owned by concurrent callers are waited on after the
+        owned batch computed, so a batch that contains its own duplicates
+        never deadlocks on itself.  Accounting matches the single-key path:
+        one miss per owned key, one hit per position served from memory
+        (in-batch duplicates included), and a failed batch compute removes
+        every owned entry so later calls retry.
+        """
+        entries: list[_Entry] = []
+        owned_positions: list[int] = []
+        with self._lock:
+            for position, key in enumerate(keys):
+                entry = self._entries.get(key)
+                if entry is None:
+                    entry = _Entry()
+                    self._entries[key] = entry
+                    owned_positions.append(position)
+                    self.stats.misses += 1
+                entries.append(entry)
+        if owned_positions:
+            try:
+                values = compute_many(owned_positions)
+            except BaseException as exc:  # noqa: BLE001 - propagated to waiters
+                with self._lock:
+                    for position in owned_positions:
+                        self._entries.pop(keys[position], None)
+                        self.stats.misses -= 1
+                        self.stats.errors += 1
+                for position in owned_positions:
+                    entries[position].error = exc
+                    entries[position].event.set()
+                raise
+            for position, value in zip(owned_positions, values):
+                entries[position].value = value
+                entries[position].event.set()
+        results: list[Any] = []
+        hits = 0
+        owned = set(owned_positions)
+        for position, entry in enumerate(entries):
+            if position not in owned:
+                entry.event.wait()
+                if entry.error is not None:
+                    raise entry.error
+                hits += 1
+            results.append(entry.value)
+        if hits:
+            with self._lock:
+                self.stats.hits += hits
+        return results
 
     def __len__(self) -> int:
         with self._lock:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import threading
 from typing import Sequence
 
+from ..llm import LLMRequest
 from .budget import GlobalWorkerBudget
 from .cache import MemoCache
 from .executors import Executor, create_executor
@@ -69,15 +70,19 @@ class ExecutionEngine:
         tasks: Sequence[TaskSpec],
         *,
         rethrow: bool = True,
+        payload: object = None,
     ) -> list[TaskResult]:
         """Run a batch of tasks, returning results in submission order.
 
         With ``rethrow=True`` (the default) the first failed task's exception
         is re-raised after the whole batch finished; ``rethrow=False`` leaves
         failures in ``TaskResult.error`` for the caller to triage.
+        ``payload`` is the batch's shared object, referenced from task args
+        via the ``POOL_PAYLOAD`` sentinel and shipped once per worker (see
+        :meth:`Executor.run`).
         """
         with self.profile.measure(stage):
-            results = self.executor.run(tasks)
+            results = self.executor.run(tasks, payload=payload)
         for result in results:
             self.profile.record(f"{stage}/task", result.duration)
         if rethrow:
@@ -96,17 +101,46 @@ class ExecutionEngine:
                 self._participant_tokens[participant] = token
             return token
 
-    def cached_query(self, backend, prompt):
-        """Memoized ``backend.query(prompt)``.
+    def _llm_key(self, backend, request) -> tuple:
+        """The LLM memo key: backend identity token + route + full prompt.
 
-        The key pairs the backend's identity token with the full prompt
-        (kind, subject, text): two backends with the same model string but
-        different error profiles never serve each other's completions.
+        Two backends with the same model string but different error profiles
+        never serve each other's completions, and — because the route is
+        part of the key — neither do two routes through the same
+        :class:`~repro.llm.BackendPool` (same prompt, different member).
+        """
+        prompt = request.prompt
+        return ("llm", self.token(backend), request.route, prompt.kind, prompt.subject, prompt.text)
+
+    def cached_query(self, backend, prompt, *, route: str | None = None):
+        """Memoized single LLM query (a one-element :meth:`cached_query_batch`).
+
         Single-flight computation keeps the backend's usage meter at exactly
         one recorded query per distinct prompt, independent of ``jobs``.
         """
-        key = ("llm", self.token(backend), prompt.kind, prompt.subject, prompt.text)
-        return self.llm_cache.get_or_compute(key, lambda: backend.query(prompt))
+        request = LLMRequest(prompt=prompt, route=route)
+        return self.llm_cache.get_or_compute(
+            self._llm_key(backend, request),
+            lambda: backend.complete_batch((request,))[0],
+        )
+
+    def cached_query_batch(self, backend, requests):
+        """Memoized ``backend.complete_batch(requests)``, results in request order.
+
+        Single-flight **per distinct prompt across concurrent batches**: of
+        all in-flight batches asking for the same (backend, route, prompt),
+        exactly one computes it and the rest wait for that completion.  The
+        misses this batch owns are forwarded to the backend as one
+        ``complete_batch`` call, so batch granularity — the backend's atomic
+        budget reservation and per-batch metering — survives memoization.
+        """
+        normalized = [LLMRequest.of(item) for item in requests]
+        keys = [self._llm_key(backend, request) for request in normalized]
+
+        def compute_many(owned_positions: list[int]):
+            return backend.complete_batch([normalized[position] for position in owned_positions])
+
+        return self.llm_cache.get_or_compute_many(keys, compute_many)
 
     def cached_extract(self, extractor, identifier: str) -> str:
         """Memoized ``extractor.extract_code(identifier)``."""

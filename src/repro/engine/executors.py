@@ -34,18 +34,33 @@ from contextlib import nullcontext
 from typing import Sequence
 
 from .budget import GlobalWorkerBudget, get_global_worker_budget
-from .tasks import TaskResult, TaskSpec
+from .tasks import TaskResult, TaskSpec, substitute_payload
+
+#: The once-per-worker shared payload a process pool's initializer installs.
+#: Each worker process belongs to exactly one pool for its whole life (pools
+#: are created per ``run()`` call), so a plain module global is safe there;
+#: in-memory executors never use it — they substitute the payload into the
+#: task specs directly, by reference.
+_pool_payload: object = None
+
+
+def _install_pool_payload(payload: object) -> None:
+    """Process-pool initializer: unpickle the shared payload once per worker."""
+    global _pool_payload
+    _pool_payload = payload
 
 
 def execute_task(task: TaskSpec) -> TaskResult:
     """Run one task, capturing value/error/duration/worker.
 
     Module-level (rather than a method) so process pools can pickle it.
+    Payload sentinels left in the task's args (process-pool batches) are
+    resolved against the worker's installed shared payload first.
     """
     started = time.perf_counter()
     result = TaskResult(key=task.key, seed=task.seed)
     try:
-        result.value = task()
+        result.value = substitute_payload(task, _pool_payload)()
     except Exception as exc:
         # Only Exception: KeyboardInterrupt/SystemExit must abort the whole
         # batch (Ctrl-C during an hours-long run), not become a task result.
@@ -53,6 +68,17 @@ def execute_task(task: TaskSpec) -> TaskResult:
     result.duration = time.perf_counter() - started
     result.worker = f"{os.getpid()}:{threading.current_thread().name}"
     return result
+
+
+def _execute_task_with_slot(task: TaskSpec, budget: GlobalWorkerBudget) -> TaskResult:
+    """Run one task with the worker thread marked as a budget-slot holder.
+
+    Thread pools with a budget submit through this wrapper so a task that
+    fans out a nested pool can donate the slot it holds while it blocks
+    (see :meth:`GlobalWorkerBudget.reclaimed_for_nested`).
+    """
+    with budget.held_slot():
+        return execute_task(task)
 
 
 class Executor(abc.ABC):
@@ -66,8 +92,15 @@ class Executor(abc.ABC):
     shares_memory: bool = True
 
     @abc.abstractmethod
-    def run(self, tasks: Sequence[TaskSpec]) -> list[TaskResult]:
-        """Execute every task and return one result per task, in order."""
+    def run(self, tasks: Sequence[TaskSpec], *, payload: object = None) -> list[TaskResult]:
+        """Execute every task and return one result per task, in order.
+
+        ``payload`` is an optional object shared by the whole batch, which
+        tasks reference through the :data:`~repro.engine.tasks.POOL_PAYLOAD`
+        sentinel in their args/kwargs.  In-memory executors hand it to
+        tasks by reference; a process pool pickles it **once per worker**
+        (via the pool initializer) instead of once per task.
+        """
 
 
 class SerialExecutor(Executor):
@@ -76,7 +109,9 @@ class SerialExecutor(Executor):
     name = "serial"
     jobs = 1
 
-    def run(self, tasks: Sequence[TaskSpec]) -> list[TaskResult]:
+    def run(self, tasks: Sequence[TaskSpec], *, payload: object = None) -> list[TaskResult]:
+        if payload is not None:
+            tasks = [substitute_payload(task, payload) for task in tasks]
         return [execute_task(task) for task in tasks]
 
 
@@ -89,15 +124,33 @@ class _PoolExecutor(Executor):
         self.jobs = max(1, jobs)
         self.budget = budget
 
-    def run(self, tasks: Sequence[TaskSpec]) -> list[TaskResult]:
+    def _pool_kwargs(self, payload: object) -> dict:
+        """Extra pool-construction kwargs (process pools install the payload)."""
+        return {}
+
+    def run(self, tasks: Sequence[TaskSpec], *, payload: object = None) -> list[TaskResult]:
         if not tasks:
             return []
+        if payload is not None and self.shares_memory:
+            tasks = [substitute_payload(task, payload) for task in tasks]
         wanted = min(self.jobs, len(tasks))
-        lease = self.budget.workers(wanted) if self.budget is not None else nullcontext(wanted)
-        with lease as workers:
-            with self.pool_factory(max_workers=workers) as pool:
-                futures = [pool.submit(execute_task, task) for task in tasks]
-                return [future.result() for future in futures]
+        if self.budget is not None:
+            reclaim = self.budget.reclaimed_for_nested()
+            lease = self.budget.workers(wanted)
+        else:
+            reclaim = nullcontext()
+            lease = nullcontext(wanted)
+        with reclaim:
+            with lease as workers:
+                with self.pool_factory(max_workers=workers, **self._pool_kwargs(payload)) as pool:
+                    if self.shares_memory and self.budget is not None:
+                        futures = [
+                            pool.submit(_execute_task_with_slot, task, self.budget)
+                            for task in tasks
+                        ]
+                    else:
+                        futures = [pool.submit(execute_task, task) for task in tasks]
+                    return [future.result() for future in futures]
 
 
 class ThreadPoolExecutor(_PoolExecutor):
@@ -119,6 +172,13 @@ class ProcessPoolExecutor(_PoolExecutor):
     name = "process"
     shares_memory = False
     pool_factory = concurrent.futures.ProcessPoolExecutor
+
+    def _pool_kwargs(self, payload: object) -> dict:
+        # The shared payload pickles once per worker through the pool
+        # initializer, instead of once per task inside every task's args.
+        if payload is None:
+            return {}
+        return {"initializer": _install_pool_payload, "initargs": (payload,)}
 
 
 def create_executor(

@@ -20,6 +20,45 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 
+class _PoolPayloadSentinel:
+    """Placeholder for a batch's shared payload in task args/kwargs.
+
+    Large objects every task of a batch shares (the pickled generator of a
+    generation fan-out) used to ride inside each task's ``args``, so a
+    process pool re-pickled them once **per task**.  Callers now pass the
+    object once as ``run(tasks, payload=...)`` and put this sentinel where
+    it belongs in the args; executors substitute the real payload — shared
+    by reference on in-memory executors, shipped once per worker process
+    via the pool initializer on process pools.
+
+    Identity is class-based (``isinstance``), not object-based, so the
+    sentinel survives pickling into process workers.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "POOL_PAYLOAD"
+
+
+#: The one sentinel value callers place in :class:`TaskSpec` args/kwargs.
+POOL_PAYLOAD = _PoolPayloadSentinel()
+
+
+def substitute_payload(task: "TaskSpec", payload: object) -> "TaskSpec":
+    """Return ``task`` with every payload sentinel replaced by ``payload``."""
+    args = tuple(payload if isinstance(item, _PoolPayloadSentinel) else item for item in task.args)
+    kwargs = task.kwargs
+    if kwargs and any(isinstance(value, _PoolPayloadSentinel) for value in kwargs.values()):
+        kwargs = {
+            key: payload if isinstance(value, _PoolPayloadSentinel) else value
+            for key, value in kwargs.items()
+        }
+    if args == task.args and kwargs is task.kwargs:
+        return task
+    return TaskSpec(
+        key=task.key, fn=task.fn, args=args, kwargs=kwargs, seed=task.seed, stage=task.stage
+    )
+
+
 def derive_seed(base: int, *parts: object) -> int:
     """Derive a stable per-task seed from a base seed and identifying parts.
 
@@ -69,4 +108,4 @@ class TaskResult:
         return self.value
 
 
-__all__ = ["TaskSpec", "TaskResult", "derive_seed"]
+__all__ = ["TaskSpec", "TaskResult", "derive_seed", "POOL_PAYLOAD", "substitute_payload"]

@@ -23,6 +23,10 @@ class ExperimentConfig:
     per_driver_budget: int = 800      # programs per campaign for Tables 5/6
     bug_budget: int = 2500            # programs per campaign for Table 4
     ablation_drivers: int = 10        # first N valid drivers for the §5.2.3 ablations
+    #: Capability profiles the LLM-choice ablation routes through its
+    #: BackendPool (None = the paper's gpt-4 / gpt-4o / gpt-3.5 line-up);
+    #: set from the runner's --backends flag.
+    llm_backends: tuple[str, ...] | None = None
     seed: int = 2025
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":

@@ -139,12 +139,21 @@ class EvaluationContext:
         return corpus
 
 
-@lru_cache(maxsize=2)
-def shared_context(preset: str = "quick") -> EvaluationContext:
-    """Process-wide cached context (used by the benchmark modules)."""
+@lru_cache(maxsize=4)
+def shared_context(
+    preset: str = "quick", llm_backends: tuple[str, ...] | None = None
+) -> EvaluationContext:
+    """Process-wide cached context (benchmark modules, process-pool workers).
+
+    ``llm_backends`` carries the runner's ``--backends`` override into
+    worker processes, which rebuild their context from these plain strings
+    (contexts hold locks and engines that cannot cross process boundaries).
+    """
     from . import config as config_module
 
     configuration = config_module.paper() if preset == "paper" else config_module.quick()
+    if llm_backends:
+        configuration = configuration.with_overrides(llm_backends=tuple(llm_backends))
     return EvaluationContext(configuration)
 
 

@@ -61,7 +61,9 @@ def run_experiment(name: str, ctx: EvaluationContext) -> TableResult:
     return runner(ctx)
 
 
-def run_experiment_for_preset(name: str, preset: str) -> TableResult:
+def run_experiment_for_preset(
+    name: str, preset: str, backends: tuple[str, ...] | None = None
+) -> TableResult:
     """Run one experiment against a worker-local context for ``preset``.
 
     The process-pool task payload: module-level, with string arguments, so
@@ -70,13 +72,16 @@ def run_experiment_for_preset(name: str, preset: str) -> TableResult:
     once — the per-process analogue of the thread path's shared context.
     Experiments are deterministic functions of the configuration, so the
     rendered result is byte-identical to the shared-memory path.
+    ``backends`` forwards the ``--backends`` profile line-up.
     """
     from .context import shared_context
 
-    return run_experiment(name, shared_context(preset))
+    return run_experiment(name, shared_context(preset, backends))
 
 
-def run_table1_for_preset(preset: str) -> "tuple[TableResult, str]":
+def run_table1_for_preset(
+    preset: str, backends: tuple[str, ...] | None = None
+) -> "tuple[TableResult, str]":
     """table1 plus its §5.1.3 correctness audit as one process-pool payload.
 
     The audit needs the full generation run, which in process mode lives in
@@ -84,10 +89,13 @@ def run_table1_for_preset(preset: str) -> "tuple[TableResult, str]":
     redo the whole pipeline serially, and a separate audit task would build
     a second context on another worker.  Bundling table + rendered audit
     into one task means exactly one worker pays for the generation run.
+    ``backends`` only matters to the ablation, but it must be part of the
+    ``shared_context`` key here too, so a worker that runs table1 plus any
+    other experiment reuses one context instead of building two.
     """
     from .context import shared_context
 
-    ctx = shared_context(preset)
+    ctx = shared_context(preset, backends)
     return run_table1(ctx), run_correctness_audit(ctx).render()
 
 
@@ -101,11 +109,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="workers for independent experiments (default: 1)")
     parser.add_argument("--executor", choices=["serial", "thread", "process"], default="thread",
                         help="worker pool flavour for --jobs > 1 (default: thread)")
+    parser.add_argument("--backends", default=None, metavar="PROFILES",
+                        help="comma-separated capability profiles for the LLM-choice "
+                             "ablation's BackendPool, e.g. gpt-4,gpt-3.5 "
+                             "(default: the paper's gpt-4,gpt-4o,gpt-3.5 line-up)")
     parser.add_argument("--profile", action="store_true",
                         help="print per-stage timings and cache statistics at the end")
     args = parser.parse_args(argv)
 
+    backends = tuple(part.strip() for part in args.backends.split(",") if part.strip()) \
+        if args.backends else None
     config = paper() if args.preset == "paper" else quick()
+    if backends:
+        config = config.with_overrides(llm_backends=backends)
     engine = ExecutionEngine(jobs=args.jobs, kind=args.executor)
     ctx = EvaluationContext(config, engine=engine)
     wanted = args.experiment or ["all"]
@@ -152,9 +168,11 @@ def main(argv: list[str] | None = None) -> int:
             tasks = [TaskSpec(key=name, fn=run_experiment, args=(name, ctx)) for name in names]
         else:
             tasks = [
-                TaskSpec(key=name, fn=run_table1_for_preset, args=(args.preset,))
+                TaskSpec(key=name, fn=run_table1_for_preset, args=(args.preset, backends))
                 if name == "table1"
-                else TaskSpec(key=name, fn=run_experiment_for_preset, args=(name, args.preset))
+                else TaskSpec(
+                    key=name, fn=run_experiment_for_preset, args=(name, args.preset, backends)
+                )
                 for name in names
             ]
         for task_result in engine.run_tasks("experiments", tasks, rethrow=False):

@@ -7,16 +7,20 @@ from .backend import (
     GPT4O_PROFILE,
     GPT4_PROFILE,
     LLMBackend,
+    LLMRequest,
     Prompt,
     UsageMeter,
 )
 from .degraded import DegradedBackend
 from .oracle import OracleBackend, slice_case_block
+from .pool import BackendPool
 from .prompts import ParsedReply, PromptLibrary, UnknownItem, parse_reply
 from .replay import RecordedExchange, RecordingBackend, ReplayBackend, prompt_key
 
 __all__ = [
     "LLMBackend",
+    "LLMRequest",
+    "BackendPool",
     "Prompt",
     "Completion",
     "UsageMeter",

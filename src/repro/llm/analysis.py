@@ -4,12 +4,31 @@ These functions operate purely on source *text* (the code snippets contained
 in a prompt), never on the kernel's ground-truth objects: they are the
 "knowledge" of the simulated GPT-4 analyst.  Keeping them here, separate from
 the backend, also lets the test-suite exercise the analysis directly.
+
+This module is the regex-heavy hot path of the whole pipeline (the engine's
+``--profile`` output attributes most of ``generation/type`` wall time to
+struct/field analysis), so every fixed pattern is compiled once at module
+level and the few patterns parameterised by an identifier go through
+:func:`cached_pattern`, an LRU around ``re.compile`` — no per-call trips
+through the ``re`` module's internal cache lock and dict lookup.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
+
+
+@lru_cache(maxsize=4096)
+def cached_pattern(pattern: str, flags: int = 0) -> "re.Pattern[str]":
+    """Compile-once cache for patterns built around a runtime identifier.
+
+    The key space is bounded by the kernel's macro/function/struct names, so
+    the cache converges after the first generation pass and later passes pay
+    a single LRU lookup per use.
+    """
+    return re.compile(pattern, flags)
 
 _WIDTH_BY_CTYPE = {
     "__u8": "int8",
@@ -51,6 +70,8 @@ _RANGE_GUARD_RE = re.compile(r"params\.(?P<field>\w+)\s*<\s*(?P<low>\d+)\s*\|\|\
 _FAMILY_RE = re.compile(r"\.family\s*=\s*(?P<family>AF_\w+)")
 _SOCK_TYPE_RE = re.compile(r"sock->type\s*!=\s*(?P<type>\d+)")
 _PROTOCOL_RE = re.compile(r"protocol\s*!=\s*(?P<proto>\d+)\s*&&")
+_TABLE_ENTRY_LINE_RE = re.compile(r"^\.?\{?\s*\{?\s*(?P<macro>[A-Z][A-Z0-9_]+)\s*[,=]\s*(?P<fn>\w+)\s*\}")
+_SCALAR_ARG_RE = re.compile(r"unsigned long arg\b")
 
 
 @dataclass(frozen=True)
@@ -150,7 +171,7 @@ def parse_lookup_table_entries(table_text: str) -> list[tuple[str, str]]:
     entries: list[tuple[str, str]] = []
     for line in table_text.splitlines():
         line = line.strip().rstrip(",")
-        match = re.match(r"^\.?\{?\s*\{?\s*(?P<macro>[A-Z][A-Z0-9_]+)\s*[,=]\s*(?P<fn>\w+)\s*\}", line)
+        match = _TABLE_ENTRY_LINE_RE.match(line)
         if match:
             entries.append((match.group("macro"), match.group("fn")))
     return entries
@@ -174,7 +195,7 @@ def infer_arg_struct(code: str) -> tuple[str | None, str]:
         return from_user.group("name"), "in"
     if to_user:
         return to_user.group("name"), "out"
-    if re.search(r"unsigned long arg\b", code) and "argp" not in code:
+    if _SCALAR_ARG_RE.search(code) and "argp" not in code:
         return None, "scalar"
     return None, "none"
 
@@ -243,7 +264,7 @@ def analyze_struct_text(
         width = _WIDTH_BY_CTYPE.get(c_type, "int32")
 
         if nested is not None:
-            if not re.search(rf"struct\s+{nested}\s*\{{", prompt_text):
+            if not cached_pattern(rf"struct\s+{re.escape(nested)}\s*\{{").search(prompt_text):
                 missing.append(nested)
             if array:
                 syz = f"array[{nested}]"
@@ -278,6 +299,7 @@ def render_typedef(struct_name: str, fields: list[AnalyzedField]) -> str:
 
 
 __all__ = [
+    "cached_pattern",
     "DeviceNameFinding",
     "infer_device_path",
     "infer_socket_identity",

@@ -9,7 +9,16 @@ defines that interface plus:
   input tokens, 400K output tokens, $34 for the full generation run);
 * :class:`CapabilityProfile` — the knob set that distinguishes a GPT-4-class
   analyst from weaker models in the LLM-choice ablation (§5.2.3);
+* :class:`LLMRequest` — one routable unit of a batched query;
 * :class:`LLMBackend` — the abstract base class all backends implement.
+
+The query surface is **batched**: :meth:`LLMBackend.complete_batch` is the
+primitive every backend implements, and :meth:`LLMBackend.query` is a thin
+one-element shim over it.  Real providers amortize per-call overhead across
+batched requests (the paper's ~$34 / 5.56M-input-token cost story assumes
+as much), so budget reservation, usage metering and in-batch deduplication
+all live at batch granularity — see :meth:`LLMBackend._serve_batch` for the
+exact contract.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from __future__ import annotations
 import abc
 import threading
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
 
 from ..errors import LLMBudgetExceeded
 
@@ -50,6 +60,33 @@ class Completion:
         return max(1, len(self.text) // 4)
 
 
+@dataclass(frozen=True)
+class LLMRequest:
+    """One unit of a batched query: a prompt plus routing metadata.
+
+    ``route`` is an opaque routing tag — a capability-profile name, a stage
+    kind, anything a :class:`~repro.llm.pool.BackendPool` maps to a member
+    backend.  Plain backends ignore it (their completion is a pure function
+    of the prompt), but it still participates in cache keys so that routed
+    and unrouted asks of the same prompt never serve each other's
+    completions.  ``request_id`` is an optional caller-chosen label carried
+    through for attribution; it never affects the completion.
+    """
+
+    prompt: Prompt
+    route: str | None = None
+    request_id: str | None = None
+
+    @classmethod
+    def of(cls, item: "LLMRequest | Prompt") -> "LLMRequest":
+        """Normalize a bare prompt into an unrouted request."""
+        return item if isinstance(item, LLMRequest) else cls(prompt=item)
+
+    def batch_key(self) -> tuple:
+        """The in-batch dedupe key: full prompt content plus the route."""
+        return (self.route, self.prompt.kind, self.prompt.subject, self.prompt.text)
+
+
 @dataclass
 class UsageMeter:
     """Accumulates query/token usage across a generation run.
@@ -72,14 +109,24 @@ class UsageMeter:
     )
 
     def record(self, prompt: Prompt, completion: Completion) -> None:
+        self.record_batch(((prompt, completion),))
+
+    def record_batch(self, pairs: Iterable[tuple[Prompt, Completion]]) -> None:
+        """Record many prompt/completion pairs under one lock acquisition.
+
+        Metering moved to batch granularity with the batched query protocol:
+        a backend serving an N-request batch updates the meter once, not N
+        times, so contention on the meter lock does not grow with batch size.
+        """
         with self._lock:
-            self.queries += 1
-            self.input_tokens += prompt.approximate_tokens()
-            self.output_tokens += completion.approximate_tokens()
-            kind_stats = self.by_kind.setdefault(prompt.kind, {"queries": 0, "input": 0, "output": 0})
-            kind_stats["queries"] += 1
-            kind_stats["input"] += prompt.approximate_tokens()
-            kind_stats["output"] += completion.approximate_tokens()
+            for prompt, completion in pairs:
+                self.queries += 1
+                self.input_tokens += prompt.approximate_tokens()
+                self.output_tokens += completion.approximate_tokens()
+                kind_stats = self.by_kind.setdefault(prompt.kind, {"queries": 0, "input": 0, "output": 0})
+                kind_stats["queries"] += 1
+                kind_stats["input"] += prompt.approximate_tokens()
+                kind_stats["output"] += completion.approximate_tokens()
 
     def merge(self, other: "UsageMeter") -> None:
         """Fold another meter's totals into this one (process-mode join).
@@ -187,13 +234,20 @@ GPT35_PROFILE = CapabilityProfile(
 
 
 class LLMBackend(abc.ABC):
-    """Abstract base class of every analysis backend."""
+    """Abstract base class of every analysis backend.
+
+    :meth:`complete_batch` is the primitive — every backend implements it,
+    usually by delegating to the :meth:`_serve_batch` template, which owns
+    the batch-granularity semantics (dedupe, budget reservation, metering)
+    and calls back into the per-prompt :meth:`complete` hook.  External
+    callers may keep using :meth:`query`; it is a one-element batch.
+    """
 
     def __init__(self, *, model: str = "analysis-llm", query_budget: int | None = None):
         self.model = model
         self.usage = UsageMeter()
         self._query_budget = query_budget
-        # Budget slots are reserved atomically before the completion runs, so
+        # Budget slots are reserved atomically before completions run, so
         # the budget raises at exactly the same query index whether one or
         # many threads share the backend (a check on usage.queries alone
         # would let concurrent callers race past the limit).
@@ -201,27 +255,117 @@ class LLMBackend(abc.ABC):
         self._reserved_queries = 0
 
     def query(self, prompt: Prompt) -> Completion:
-        """Send a prompt, enforce the query budget, and record usage."""
-        if self._query_budget is not None:
-            with self._budget_lock:
-                if self._reserved_queries >= self._query_budget:
-                    raise LLMBudgetExceeded(
-                        f"backend {self.model!r} exceeded its query budget of {self._query_budget}"
-                    )
-                self._reserved_queries += 1
-        try:
-            completion = self.complete(prompt)
-        except Exception:
-            if self._query_budget is not None:
-                with self._budget_lock:
-                    self._reserved_queries -= 1
-            raise
-        self.usage.record(prompt, completion)
-        return completion
+        """Send one prompt: a thin one-element shim over :meth:`complete_batch`."""
+        return self.complete_batch((LLMRequest.of(prompt),))[0]
 
     @abc.abstractmethod
+    def complete_batch(self, requests: "Sequence[LLMRequest | Prompt]") -> list[Completion]:
+        """Serve a batch of requests, returning completions in request order.
+
+        The primitive of the protocol.  Implementations must honour the
+        batch contract (most do so by delegating to :meth:`_serve_batch`):
+
+        * results come back **in request order** — the determinism contract
+          callers rebuild their aggregates from;
+        * identical requests within one batch (same prompt content and
+          route) are **deduped**: computed once, the shared completion
+          returned at every duplicate position;
+        * the query budget is reserved **atomically for the whole batch**
+          (one slot per distinct request) before completions run, and the
+          usage meter is updated once per batch.
+        """
+
     def complete(self, prompt: Prompt) -> Completion:
-        """Produce a completion for ``prompt`` (implemented by subclasses)."""
+        """Per-prompt completion hook used by the :meth:`_serve_batch` default.
+
+        Backends whose completions are a pure function of one prompt
+        implement this and inherit the whole batch contract from
+        :meth:`_serve_batch`; backends that forward batches elsewhere (the
+        recording wrapper, the pool) override :meth:`complete_batch` itself.
+        """
+        raise NotImplementedError(f"{type(self).__name__} serves batches only")
+
+    def _serve_batch(
+        self,
+        requests: "Sequence[LLMRequest | Prompt]",
+        *,
+        complete_many: "Callable[[list[LLMRequest]], list[Completion]] | None" = None,
+    ) -> list[Completion]:
+        """The batch template: dedupe, reserve budget, complete, meter.
+
+        Distinct requests are computed in first-appearance order, by default
+        one :meth:`complete` call each; ``complete_many`` overrides the
+        computation for backends that forward the whole distinct sub-batch
+        elsewhere (recording wrapper → inner backend).
+
+        Budget semantics are serial-equivalent on the backend's own state:
+        slots for the batch are reserved atomically up front, but when the
+        batch needs more slots than remain, the in-budget prefix still
+        completes and records usage before :class:`LLMBudgetExceeded`
+        raises — the meter totals and remaining budget are exactly what a
+        loop of single queries leaves behind, so the budget raises at the
+        same query index whether callers batch or not.  The batch *result*
+        is all-or-nothing, though: a failed batch delivers no completions
+        (there is no partial return through an exception), so layers that
+        key off delivery — the engine's memo cache, the recording
+        wrapper's transcript — see nothing from the served prefix.  That
+        is deliberate: after ``LLMBudgetExceeded`` the run is aborted
+        anyway, and an aborted batch must not leave half its results
+        behind as if it had succeeded.
+        """
+        normalized = [LLMRequest.of(item) for item in requests]
+        if not normalized:
+            return []
+        # In-batch dedupe, first-appearance order: positions per distinct key.
+        positions_by_key: dict[tuple, list[int]] = {}
+        distinct: list[LLMRequest] = []
+        for index, request in enumerate(normalized):
+            positions = positions_by_key.setdefault(request.batch_key(), [])
+            if not positions:
+                distinct.append(request)
+            positions.append(index)
+
+        granted = len(distinct)
+        over_budget = False
+        if self._query_budget is not None:
+            with self._budget_lock:
+                available = max(0, self._query_budget - self._reserved_queries)
+                granted = min(len(distinct), available)
+                self._reserved_queries += granted
+            over_budget = granted < len(distinct)
+
+        served: list[tuple[LLMRequest, Completion]] = []
+        try:
+            if complete_many is not None:
+                completions = complete_many(distinct[:granted])
+                served = list(zip(distinct[:granted], completions))
+            else:
+                for request in distinct[:granted]:
+                    served.append((request, self.complete(request.prompt)))
+        except Exception:
+            # Release the reserved-but-unserved slots; what completed stays
+            # reserved and metered, matching a serial loop that failed at
+            # the same point.
+            if self._query_budget is not None:
+                with self._budget_lock:
+                    self._reserved_queries -= granted - len(served)
+            if served:
+                self.usage.record_batch(
+                    (request.prompt, completion) for request, completion in served
+                )
+            raise
+        self.usage.record_batch(
+            (request.prompt, completion) for request, completion in served
+        )
+        if over_budget:
+            raise LLMBudgetExceeded(
+                f"backend {self.model!r} exceeded its query budget of {self._query_budget}"
+            )
+        results: list[Completion | None] = [None] * len(normalized)
+        for request, completion in served:
+            for index in positions_by_key[request.batch_key()]:
+                results[index] = completion
+        return results
 
     def note_external_queries(self, queries: int) -> None:
         """Count queries a worker-process copy issued against this budget.
@@ -265,6 +409,7 @@ class LLMBackend(abc.ABC):
 __all__ = [
     "Prompt",
     "Completion",
+    "LLMRequest",
     "UsageMeter",
     "CapabilityProfile",
     "GPT4_PROFILE",

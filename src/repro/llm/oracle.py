@@ -21,6 +21,7 @@ import re
 
 from .analysis import (
     analyze_struct_text,
+    cached_pattern,
     find_delegation_target,
     find_lookup_table,
     find_resource_production,
@@ -39,6 +40,10 @@ _OPERATION_IDENT_RE = re.compile(r"-\s*IDENT:\s*(\S+)")
 _INVALID_CONST_RE = re.compile(r"constant '(?P<name>\w+)' cannot be resolved")
 _UNDEFINED_TYPE_RE = re.compile(r"type '(?P<name>\w+)' is not defined")
 _DEFINE_LINE_RE = re.compile(r"#define\s+(?P<name>\w+)\s+")
+_PROTO_OPS_MEMBER_RE = re.compile(
+    r"\.(bind|connect|accept|sendto|recvfrom|sendmsg|recvmsg|poll)\s*=\s*(\w+)"
+)
+_OPERATION_BLOCK_SPLIT_RE = re.compile(r"/\* operation: ")
 
 
 def _sections(prompt_text: str) -> dict[str, str]:
@@ -54,7 +59,10 @@ def _sections(prompt_text: str) -> dict[str, str]:
 
 def slice_case_block(code: str, macro: str) -> str | None:
     """Return the statements belonging to ``case macro:`` inside a switch body."""
-    pattern = re.compile(rf"case\s+{re.escape(macro)}\s*:(?P<body>.*?)(?=\n\s*case\s+\w+\s*:|\n\s*default\s*:)", re.DOTALL)
+    pattern = cached_pattern(
+        rf"case\s+{re.escape(macro)}\s*:(?P<body>.*?)(?=\n\s*case\s+\w+\s*:|\n\s*default\s*:)",
+        re.DOTALL,
+    )
     match = pattern.search(code)
     if match:
         return match.group("body")
@@ -73,6 +81,17 @@ class OracleBackend(LLMBackend):
         return random.Random("|".join((self.profile.name,) + key))
 
     # ----------------------------------------------------------- completion
+    def complete_batch(self, requests) -> list[Completion]:
+        """Serve a batch through the base template.
+
+        Oracle completions are pure functions of (profile, prompt), so the
+        default per-prompt :meth:`complete` hook suffices; the template
+        contributes in-batch dedupe, atomic budget reservation and one
+        meter update per batch.  :class:`~repro.llm.degraded.DegradedBackend`
+        inherits this implementation with its weaker profile.
+        """
+        return self._serve_batch(requests)
+
     def complete(self, prompt: Prompt) -> Completion:
         sections = _sections(prompt.text)
         if prompt.kind == "identifier":
@@ -132,7 +151,7 @@ class OracleBackend(LLMBackend):
 
         # Socket message operations are registered directly in the proto_ops
         # initializer: treat each registered member as one operation.
-        for member, handler_fn in re.findall(r"\.(bind|connect|accept|sendto|recvfrom|sendmsg|recvmsg|poll)\s*=\s*(\w+)", registration + code):
+        for member, handler_fn in _PROTO_OPS_MEMBER_RE.findall(registration + code):
             identifiers.append((member, handler_fn, member))
 
         if not identifiers and not unknowns:
@@ -242,7 +261,7 @@ class OracleBackend(LLMBackend):
         lines = ["## DEPENDENCY"]
         unknowns: list[str] = []
         found = 0
-        for block in re.split(r"/\* operation: ", code)[1:]:
+        for block in _OPERATION_BLOCK_SPLIT_RE.split(code)[1:]:
             macro, _, body = block.partition(" */")
             production = find_resource_production(body)
             if production is None:
@@ -351,7 +370,10 @@ class OracleBackend(LLMBackend):
         for macro, handler_fn in cases:
             if handler_fn is None:
                 continue
-            fn_match = re.search(rf"static\s+\w+\s+{re.escape(handler_fn)}\([^)]*\)\s*\n\{{(?P<body>.*?)\n\}}", code, re.DOTALL)
+            fn_match = cached_pattern(
+                rf"static\s+\w+\s+{re.escape(handler_fn)}\([^)]*\)\s*\n\{{(?P<body>.*?)\n\}}",
+                re.DOTALL,
+            ).search(code)
             if not fn_match:
                 continue
             struct_name, direction = infer_arg_struct(fn_match.group("body"))

@@ -1,0 +1,114 @@
+"""A routed multi-backend frontend: one pool, many capability profiles.
+
+The LLM-choice ablation (§5.2.3) runs the same drivers against GPT-4,
+GPT-4o and GPT-3.5 analysts.  Before the batched protocol that meant three
+sequential generator runs, one per backend; :class:`BackendPool` turns it
+into a single run that routes every request to the right member backend by
+its routing tag, so the engine can shard the whole profile × driver matrix
+through one fan-out.
+
+Routing rules (first match wins):
+
+1. an explicit ``LLMRequest.route`` tag that is a key of ``routes`` maps to
+   the member ``routes`` names;
+2. a ``route`` tag that is itself a member name selects that member;
+3. the same two lookups are then tried with the prompt's ``kind`` (so a
+   pool can send e.g. every ``repair`` prompt to a cheaper profile);
+4. otherwise the ``default`` member serves the request.
+
+Each member keeps its own budget and usage meter (its ``complete_batch``
+serves the sub-batch routed to it, with its normal dedupe/budget/metering
+semantics); the pool's own meter records every request it routes, so
+``pool.usage`` is the merged caller-side summary and
+:meth:`BackendPool.usage_by_member` the per-profile breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .backend import Completion, LLMBackend, LLMRequest, Prompt
+
+
+class BackendPool(LLMBackend):
+    """Routes batched requests to member backends by routing tag."""
+
+    def __init__(
+        self,
+        members: Mapping[str, LLMBackend],
+        *,
+        default: str | None = None,
+        routes: Mapping[str, str] | None = None,
+    ):
+        if not members:
+            raise ValueError("a BackendPool needs at least one member backend")
+        super().__init__(model=f"pool({','.join(members)})")
+        self.members: dict[str, LLMBackend] = dict(members)
+        self.routes: dict[str, str] = dict(routes or {})
+        for tag, member in self.routes.items():
+            if member not in self.members:
+                raise ValueError(f"route {tag!r} targets unknown member {member!r}")
+        self.default = default if default is not None else next(iter(self.members))
+        if self.default not in self.members:
+            raise ValueError(f"default member {self.default!r} is not in the pool")
+
+    # ---------------------------------------------------------------- routing
+    def resolve_member(self, request: "LLMRequest | Prompt") -> str:
+        """The member name that will serve ``request`` (see module docstring)."""
+        request = LLMRequest.of(request)
+        for tag in (request.route, request.prompt.kind):
+            if tag is None:
+                continue
+            if tag in self.routes:
+                return self.routes[tag]
+            if tag in self.members:
+                return tag
+        return self.default
+
+    # ------------------------------------------------------------- completion
+    def complete_batch(self, requests: "Sequence[LLMRequest | Prompt]") -> list[Completion]:
+        """Split the batch by member, forward sub-batches, reassemble in order.
+
+        Sub-batches are dispatched in member declaration order (stable for
+        any request order), and every member receives exactly one
+        ``complete_batch`` call, preserving batch granularity end to end.
+        The pool has no budget of its own — member budgets raise from
+        inside their sub-batch and propagate.
+        """
+        normalized = [LLMRequest.of(item) for item in requests]
+        if not normalized:
+            return []
+        positions_by_member: dict[str, list[int]] = {}
+        for index, request in enumerate(normalized):
+            positions_by_member.setdefault(self.resolve_member(request), []).append(index)
+        results: list[Completion | None] = [None] * len(normalized)
+        for name in self.members:
+            positions = positions_by_member.get(name)
+            if not positions:
+                continue
+            completions = self.members[name].complete_batch(
+                [normalized[index] for index in positions]
+            )
+            for index, completion in zip(positions, completions):
+                results[index] = completion
+        # The pool-level meter records per *request* (the caller's view);
+        # member meters record per distinct completion served.  The pool
+        # meter is also what travels back from process workers, where the
+        # per-member breakdown stays worker-local.
+        self.usage.record_batch(
+            (request.prompt, completion)
+            for request, completion in zip(normalized, results)
+        )
+        return results
+
+    # -------------------------------------------------------------- reporting
+    def usage_by_member(self) -> dict[str, dict]:
+        """Per-member usage summaries keyed by member name."""
+        return {name: backend.usage.summary() for name, backend in self.members.items()}
+
+    def usage_summary(self) -> dict:
+        """Merged caller-side summary plus the per-member breakdown."""
+        return {"merged": self.usage.summary(), "by_member": self.usage_by_member()}
+
+
+__all__ = ["BackendPool"]

@@ -37,7 +37,7 @@ import threading
 from dataclasses import dataclass
 
 from ..errors import LLMProtocolError
-from .backend import Completion, LLMBackend, Prompt
+from .backend import Completion, LLMBackend, LLMRequest, Prompt
 
 
 def prompt_key(prompt: Prompt) -> str:
@@ -64,8 +64,14 @@ class ReplayBackend(LLMBackend):
     ``default`` was provided).
     """
 
-    def __init__(self, replies: dict[str, list[str]] | None = None, *, default: str | None = None):
-        super().__init__(model="replay")
+    def __init__(
+        self,
+        replies: dict[str, list[str]] | None = None,
+        *,
+        default: str | None = None,
+        query_budget: int | None = None,
+    ):
+        super().__init__(model="replay", query_budget=query_budget)
         self._kind_replies: dict[str, list[str]] = {
             kind: list(items) for kind, items in (replies or {}).items()
         }
@@ -86,6 +92,17 @@ class ReplayBackend(LLMBackend):
     def add_reply(self, kind: str, text: str) -> None:
         """Append a kind-level reply, served per distinct prompt of ``kind``."""
         self._kind_replies.setdefault(kind, []).append(text)
+
+    def complete_batch(self, requests) -> list[Completion]:
+        """Serve a batch through the base template.
+
+        Replies remain a function of (prompt content, per-prompt occurrence
+        index): in-batch duplicates are deduped by the template, so they all
+        receive the completion of one occurrence — the same collapse the
+        engine's single-flight cache applies to concurrent identical
+        prompts — and the occurrence counter advances once per batch.
+        """
+        return self._serve_batch(requests)
 
     def complete(self, prompt: Prompt) -> Completion:
         key = prompt_key(prompt)
@@ -134,11 +151,24 @@ class RecordingBackend(LLMBackend):
         self.exchanges: list[RecordedExchange] = []
         self._record_lock = threading.Lock()
 
-    def complete(self, prompt: Prompt) -> Completion:
-        completion = self._inner.query(prompt)
+    def complete_batch(self, requests) -> list[Completion]:
+        """Forward the distinct sub-batch to the inner backend, recording it.
+
+        The inner backend sees one ``complete_batch`` call per wrapper batch
+        (so its own batch semantics — dedupe, budget, metering — apply at
+        the same granularity), and one exchange is recorded per distinct
+        request, in request order.
+        """
+        return self._serve_batch(requests, complete_many=self._complete_and_record)
+
+    def _complete_and_record(self, requests: list[LLMRequest]) -> list[Completion]:
+        completions = self._inner.complete_batch(requests)
         with self._record_lock:
-            self.exchanges.append(RecordedExchange(prompt=prompt, completion=completion))
-        return completion
+            self.exchanges.extend(
+                RecordedExchange(prompt=request.prompt, completion=completion)
+                for request, completion in zip(requests, completions)
+            )
+        return completions
 
     def merge_exchanges(self, exchanges: list[RecordedExchange]) -> None:
         """Fold exchanges recorded by a worker-process copy into this backend.

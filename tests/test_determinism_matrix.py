@@ -43,20 +43,38 @@ def _engine(kind: str, jobs: int) -> ExecutionEngine:
 # ------------------------------------------------------------- generation
 @pytest.fixture(scope="module")
 def generation_baseline(small_kernel, extractor):
-    """The engine-less serial run every matrix cell must reproduce."""
-    generator = KernelGPT(small_kernel, OracleBackend(), extractor=extractor)
+    """The engine-less serial run every matrix cell must reproduce.
+
+    Built with ``batch_queries=False`` — the strictly per-query schedule of
+    the pre-batching pipeline — so the batched cells prove the batched
+    protocol changes nothing, not merely that it agrees with itself.
+    """
+    generator = KernelGPT(small_kernel, OracleBackend(), extractor=extractor, batch_queries=False)
     run = generator.generate_for_handlers(HANDLERS)
     suites = {handler: result.suite_text() for handler, result in run.results.items()}
     queries = {handler: result.queries for handler, result in run.results.items()}
     return suites, queries, run.usage_summary()
 
 
+@pytest.mark.parametrize("batched", (True, False), ids=("batched", "per-query"))
 @pytest.mark.parametrize("jobs", JOBS_LEVELS)
 @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
-def test_generation_matrix_is_byte_identical(small_kernel, extractor, generation_baseline, kind, jobs):
+def test_generation_matrix_is_byte_identical(
+    small_kernel, extractor, generation_baseline, kind, jobs, batched
+):
+    """Every (jobs, executor, batched) cell reproduces the serial baseline.
+
+    The ``batched`` axis pins the batched-session contract: submitting each
+    stage's prompts as one ``complete_batch`` (the default) and the
+    per-query path must produce the same bytes, query counts and usage as
+    each other and as the engine-less serial baseline.
+    """
     baseline_suites, baseline_queries, baseline_usage = generation_baseline
     engine = _engine(kind, jobs)
-    generator = KernelGPT(small_kernel, OracleBackend(), extractor=extractor, engine=engine)
+    generator = KernelGPT(
+        small_kernel, OracleBackend(), extractor=extractor, engine=engine,
+        batch_queries=batched,
+    )
     run = generator.generate_for_handlers(HANDLERS, engine=engine)
 
     suites = {handler: result.suite_text() for handler, result in run.results.items()}
@@ -96,6 +114,27 @@ def test_pickled_recording_backend_starts_with_empty_transcript(small_kernel, ex
     assert len(backend.exchanges) == 1
     clone = pickle.loads(pickle.dumps(backend))
     assert clone.exchanges == []
+
+
+@pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+def test_pool_routed_generation_matrix(small_kernel, extractor, generation_baseline, kind):
+    """A BackendPool member routed by tag reproduces the direct-backend run.
+
+    The multi-backend frontend must be invisible to determinism: a
+    generator whose requests route through a pool to the same capability
+    profile produces the baseline bytes on every executor kind.
+    """
+    from repro.llm import BackendPool, DegradedBackend
+
+    baseline_suites, baseline_queries, _ = generation_baseline
+    pool = BackendPool({"gpt-4": DegradedBackend.gpt4(), "gpt-3.5": DegradedBackend.gpt35()})
+    engine = _engine(kind, 2)
+    generator = KernelGPT(
+        small_kernel, pool, extractor=extractor, engine=engine, backend_route="gpt-4"
+    )
+    run = generator.generate_for_handlers(HANDLERS, engine=engine)
+    assert {h: r.suite_text() for h, r in run.results.items()} == baseline_suites
+    assert {h: r.queries for h, r in run.results.items()} == baseline_queries
 
 
 def test_process_generation_merges_worker_side_effects(small_kernel, extractor):

@@ -171,6 +171,87 @@ def test_generator_and_backends_are_picklable(small_kernel, extractor):
     assert len(restored.exchanges) == 1
 
 
+class CountingGenerator(KernelGPT):
+    """A generator that counts how often it is pickled (module-level so
+    process-pool workers can unpickle it by qualified name)."""
+
+    pickles = 0
+
+    def __getstate__(self):
+        CountingGenerator.pickles += 1
+        return super().__getstate__()
+
+
+def test_process_pool_ships_generator_once_per_worker(small_kernel, extractor):
+    """The batch payload pickles per *worker* (pool initializer), not per task.
+
+    Task args carry only the ``POOL_PAYLOAD`` sentinel; the generator rides
+    in the pool initializer's ``initargs``, which the spawn start method
+    pickles once per worker process and the fork start method (Linux
+    default) ships for free through inherited memory — either way, strictly
+    fewer pickles than the one-per-task the args used to cost.
+    """
+    generator = CountingGenerator(small_kernel, OracleBackend(), extractor=extractor)
+    engine = ExecutionEngine(jobs=2, executor=ProcessPoolExecutor(2))
+    CountingGenerator.pickles = 0
+    handlers = ["dm_ctl_fops", "cec_devnode_fops", "rds_proto_ops", "udmabuf_fops"]
+    run = generator.generate_for_handlers(handlers, engine=engine)
+    assert set(run.results) == set(handlers)
+    assert CountingGenerator.pickles <= 2             # at most once per worker
+    assert CountingGenerator.pickles < len(handlers)  # never once per task
+
+
+def test_shared_payload_passes_by_reference_in_memory(small_kernel, extractor):
+    """In-memory executors substitute the payload object itself, no pickling."""
+    generator = CountingGenerator(small_kernel, OracleBackend(), extractor=extractor)
+    engine = ExecutionEngine(jobs=2)
+    CountingGenerator.pickles = 0
+    run = generator.generate_for_handlers(["dm_ctl_fops", "udmabuf_fops"], engine=engine)
+    assert set(run.results) == {"dm_ctl_fops", "udmabuf_fops"}
+    assert CountingGenerator.pickles == 0
+
+
+def test_worker_budget_reclaims_blocked_parent_slot():
+    """Nested fan-out stays at exactly ``limit`` concurrent workers.
+
+    Each outer worker donates the slot it holds while it blocks on its
+    nested pool, so the inner pools run inside the original budget instead
+    of stacking the deadlock-freedom minimum on top (previously: peak =
+    limit + one per nesting level).
+    """
+    budget = GlobalWorkerBudget(limit=2)
+    outer_gate = threading.Barrier(2, timeout=10)
+    inner_gate = threading.Barrier(2, timeout=10)
+
+    def inner_task(i):
+        inner_gate.wait()   # both nested pools provably run concurrently
+        return i
+
+    def outer_task(i):
+        outer_gate.wait()   # both outer workers provably hold slots at once
+        inner = ThreadPoolExecutor(2, budget=budget)
+        results = inner.run([TaskSpec(key=f"{i}.0", fn=inner_task, args=(i,))])
+        return results[0].value
+
+    outer = ThreadPoolExecutor(2, budget=budget)
+    results = outer.run([TaskSpec(key=str(i), fn=outer_task, args=(i,)) for i in range(2)])
+    assert [r.value for r in results] == [0, 1]
+    assert budget.leased == 0
+    # Without donation the peak would be 4: 2 outer + the at-least-one
+    # grant each nested pool extracts from an exhausted budget.
+    assert budget.peak == 2
+
+
+def test_budget_reclaim_is_noop_for_top_level_callers():
+    budget = GlobalWorkerBudget(limit=2)
+    with budget.reclaimed_for_nested():
+        assert budget.leased == 0         # nothing to donate, nothing lost
+    pool = ThreadPoolExecutor(2, budget=budget)
+    results = pool.run([TaskSpec(key=str(i), fn=lambda i=i: i) for i in range(4)])
+    assert [r.value for r in results] == list(range(4))
+    assert budget.leased == 0 and budget.peak == 2
+
+
 # --------------------------------------------------------------------- cache
 def test_memo_cache_hit_miss_accounting():
     cache = MemoCache("t")

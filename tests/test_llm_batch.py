@@ -1,0 +1,301 @@
+"""Batch-protocol semantics: dedupe, ordering, budgets, routing, single-flight.
+
+The contract under test (see DESIGN.md "Batched LLM query protocol"):
+
+* ``complete_batch`` returns completions **in request order**;
+* identical requests within one batch are **deduped** — computed and
+  metered once, the shared completion returned at every position;
+* the query budget is reserved at batch granularity but raises at the
+  **exact same query index** as a serial loop of single queries (the
+  in-budget prefix completes and is metered before the raise);
+* ``query()`` is a thin one-element shim over ``complete_batch``;
+* :class:`BackendPool` routes by tag/kind to member backends, keeps
+  per-member meters/budgets, and reports a merged usage summary;
+* ``ExecutionEngine.cached_query_batch`` is single-flight per distinct
+  prompt across concurrent batches.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import ExecutionEngine, MemoCache
+from repro.errors import LLMBudgetExceeded
+from repro.llm import (
+    BackendPool,
+    DegradedBackend,
+    LLMRequest,
+    OracleBackend,
+    Prompt,
+    RecordingBackend,
+    ReplayBackend,
+)
+
+IDENT_REPLY = "## IDENTIFIERS\n- IDENT: X | SYSCALL: ioctl\n## UNKNOWN\n(none)\n"
+
+
+def _prompt(index: int, kind: str = "identifier") -> Prompt:
+    return Prompt(kind=kind, subject=f"subject-{index}", text=f"## Registration\nprobe {index}\n")
+
+
+# ------------------------------------------------------------ batch basics
+def test_complete_batch_returns_request_order():
+    backend = ReplayBackend(default="fallback")
+    prompts = [_prompt(index) for index in range(6)]
+    for index, prompt in enumerate(prompts):
+        backend.script(prompt, f"reply-{index}")
+    shuffled = [prompts[i] for i in (3, 0, 5, 1, 4, 2)]
+    completions = backend.complete_batch(shuffled)
+    assert [c.text for c in completions] == [f"reply-{i}" for i in (3, 0, 5, 1, 4, 2)]
+
+
+def test_in_batch_dedupe_computes_and_meters_once():
+    backend = OracleBackend()
+    prompt = _prompt(0)
+    other = _prompt(1)
+    completions = backend.complete_batch([prompt, other, prompt, prompt])
+    # Duplicates are served the shared completion, in request order.
+    assert completions[0].text == completions[2].text == completions[3].text
+    # One recorded query per *distinct* request, not per position.
+    assert backend.usage.queries == 2
+
+
+def test_query_is_a_one_element_batch_shim():
+    calls = []
+
+    class Probe(OracleBackend):
+        def complete_batch(self, requests):
+            calls.append(len(requests))
+            return super().complete_batch(requests)
+
+    backend = Probe()
+    backend.query(_prompt(0))
+    assert calls == [1]
+    assert backend.usage.queries == 1
+
+
+def test_all_shipped_backends_serve_batches():
+    replay = ReplayBackend(default=IDENT_REPLY)
+    backends = [
+        OracleBackend(),
+        DegradedBackend.gpt35(),
+        ReplayBackend(default=IDENT_REPLY),
+        RecordingBackend(replay),
+    ]
+    prompts = [_prompt(0), _prompt(1)]
+    for backend in backends:
+        completions = backend.complete_batch(prompts)
+        assert len(completions) == 2
+        assert backend.usage.queries == 2
+
+
+# ---------------------------------------------------------------- budgets
+def _serial_budget_state(budget: int, prompts):
+    backend = OracleBackend(query_budget=budget)
+    raised_at = None
+    for index, prompt in enumerate(prompts):
+        try:
+            backend.query(prompt)
+        except LLMBudgetExceeded:
+            raised_at = index
+            break
+    return backend, raised_at
+
+
+def test_batch_budget_raises_at_same_query_index_as_serial():
+    prompts = [_prompt(index) for index in range(7)]
+    serial, raised_at = _serial_budget_state(4, prompts)
+    assert raised_at == 4
+
+    batched = OracleBackend(query_budget=4)
+    with pytest.raises(LLMBudgetExceeded):
+        batched.complete_batch(prompts)
+    # The in-budget prefix completed and was metered before the raise —
+    # exactly the state the serial loop left behind.
+    assert batched.usage.queries == serial.usage.queries == 4
+    assert batched.usage.input_tokens == serial.usage.input_tokens
+    assert batched.usage.summary() == serial.usage.summary()
+
+
+def test_batch_budget_counts_distinct_requests_only():
+    backend = OracleBackend(query_budget=2)
+    prompt = _prompt(0)
+    # Four positions, two distinct prompts: fits a budget of two.
+    completions = backend.complete_batch([prompt, prompt, _prompt(1), prompt])
+    assert len(completions) == 4
+    assert backend.usage.queries == 2
+    with pytest.raises(LLMBudgetExceeded):
+        backend.query(_prompt(2))
+
+
+# ------------------------------------------------------------ BackendPool
+def _two_member_pool() -> BackendPool:
+    return BackendPool(
+        {
+            "gpt-4": ReplayBackend(default="strong"),
+            "gpt-3.5": ReplayBackend(default="weak"),
+        }
+    )
+
+
+def test_pool_routes_by_tag_and_falls_back_to_default():
+    pool = _two_member_pool()
+    prompt = _prompt(0)
+    routed = pool.complete_batch(
+        [
+            LLMRequest(prompt=prompt, route="gpt-3.5"),
+            LLMRequest(prompt=prompt, route="gpt-4"),
+            LLMRequest(prompt=prompt),  # no tag -> default member (first)
+        ]
+    )
+    assert [completion.text for completion in routed] == ["weak", "strong", "strong"]
+
+
+def test_pool_routes_by_prompt_kind_through_route_table():
+    pool = BackendPool(
+        {
+            "gpt-4": ReplayBackend(default="strong"),
+            "gpt-3.5": ReplayBackend(default="weak"),
+        },
+        routes={"repair": "gpt-3.5"},
+    )
+    assert pool.query(_prompt(0, kind="repair")).text == "weak"
+    assert pool.query(_prompt(0, kind="identifier")).text == "strong"
+
+
+def test_pool_rejects_bad_configuration():
+    member = ReplayBackend(default="x")
+    with pytest.raises(ValueError):
+        BackendPool({})
+    with pytest.raises(ValueError):
+        BackendPool({"a": member}, default="missing")
+    with pytest.raises(ValueError):
+        BackendPool({"a": member}, routes={"tag": "missing"})
+
+
+def test_pool_meters_merged_and_per_member_usage():
+    pool = _two_member_pool()
+    prompt = _prompt(0)
+    pool.complete_batch(
+        [
+            LLMRequest(prompt=prompt, route="gpt-4"),
+            LLMRequest(prompt=_prompt(1), route="gpt-3.5"),
+            LLMRequest(prompt=_prompt(2), route="gpt-3.5"),
+        ]
+    )
+    summary = pool.usage_summary()
+    assert summary["merged"]["queries"] == 3
+    assert summary["by_member"]["gpt-4"]["queries"] == 1
+    assert summary["by_member"]["gpt-3.5"]["queries"] == 2
+
+
+def test_pool_member_budget_raises_from_sub_batch():
+    pool = BackendPool(
+        {
+            "limited": ReplayBackend(default="x", query_budget=1),
+            "open": ReplayBackend(default="y"),
+        }
+    )
+    pool.query(_prompt(0))  # default member is "limited"; consumes its budget
+    with pytest.raises(LLMBudgetExceeded):
+        pool.complete_batch([LLMRequest(prompt=_prompt(1), route="limited")])
+    # The open member still serves.
+    assert pool.complete_batch([LLMRequest(prompt=_prompt(2), route="open")])[0].text == "y"
+
+
+def test_pool_backed_generation_matches_direct_backend(small_kernel, extractor):
+    """A routed pool member produces the suite its standalone profile does."""
+    from repro.core import KernelGPT
+
+    direct = KernelGPT(small_kernel, DegradedBackend.gpt35(), extractor=extractor)
+    baseline = direct.generate_for_handler("dm_ctl_fops")
+
+    pool = BackendPool({"gpt-4": DegradedBackend.gpt4(), "gpt-3.5": DegradedBackend.gpt35()})
+    routed = KernelGPT(small_kernel, pool, extractor=extractor, backend_route="gpt-3.5")
+    result = routed.generate_for_handler("dm_ctl_fops")
+    assert result.suite_text() == baseline.suite_text()
+    assert result.queries == baseline.queries
+
+
+# -------------------------------------------------- engine batch memoization
+def test_cached_query_batch_dedupes_within_and_across_batches():
+    engine = ExecutionEngine(jobs=1)
+    backend = OracleBackend()
+    prompts = [_prompt(0), _prompt(1), _prompt(0)]
+    first = engine.cached_query_batch(backend, prompts)
+    assert first[0].text == first[2].text
+    assert backend.usage.queries == 2          # distinct prompts only
+    assert engine.llm_cache.stats.misses == 2
+    assert engine.llm_cache.stats.hits == 1    # the in-batch duplicate
+
+    second = engine.cached_query_batch(backend, prompts)
+    assert [completion.text for completion in second] == [completion.text for completion in first]
+    assert backend.usage.queries == 2          # fully served from memory
+    assert engine.llm_cache.stats.hits == 4
+
+
+def test_cached_query_batch_single_flight_across_concurrent_batches():
+    engine = ExecutionEngine(jobs=1)
+    backend = OracleBackend()
+    prompts = [_prompt(index) for index in range(4)]
+    barrier = threading.Barrier(4)
+    outputs: dict[int, list[str]] = {}
+
+    def worker(worker_index: int) -> None:
+        barrier.wait()
+        completions = engine.cached_query_batch(backend, prompts)
+        outputs[worker_index] = [completion.text for completion in completions]
+
+    threads = [threading.Thread(target=worker, args=(index,)) for index in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(outputs[index] == outputs[0] for index in range(4))
+    # Exactly one compute per distinct prompt across all concurrent batches.
+    assert backend.usage.queries == len(prompts)
+    assert engine.llm_cache.stats.misses == len(prompts)
+    assert engine.llm_cache.stats.hits == 3 * len(prompts)
+
+
+def test_cached_query_batch_keys_include_route():
+    engine = ExecutionEngine(jobs=1)
+    pool = BackendPool({"gpt-4": ReplayBackend(default="strong"),
+                        "gpt-3.5": ReplayBackend(default="weak")})
+    prompt = _prompt(0)
+    strong = engine.cached_query_batch(pool, [LLMRequest(prompt=prompt, route="gpt-4")])
+    weak = engine.cached_query_batch(pool, [LLMRequest(prompt=prompt, route="gpt-3.5")])
+    # Same prompt, different route: never served each other's completion.
+    assert strong[0].text == "strong" and weak[0].text == "weak"
+
+
+def test_get_or_compute_many_failure_clears_owned_entries():
+    cache = MemoCache("test")
+
+    def explode(positions):
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        cache.get_or_compute_many(["a", "b"], explode)
+    assert cache.stats.errors == 2
+    assert cache.stats.misses == 0
+    # Entries were removed: a later call retries and succeeds.
+    values = cache.get_or_compute_many(["a", "b"], lambda positions: [f"v{p}" for p in positions])
+    assert values == ["v0", "v1"]
+    assert cache.stats.misses == 2
+
+
+# ------------------------------------------------------- session batching
+def test_session_query_batch_attributes_every_request(small_kernel, extractor):
+    from repro.core import KernelGPT
+
+    generator = KernelGPT(small_kernel, OracleBackend(), extractor=extractor,
+                          engine=ExecutionEngine(jobs=1))
+    session = generator.session("dm_ctl_fops")
+    prompts = [_prompt(0), _prompt(0), _prompt(1)]
+    completions = session.query_batch(prompts)
+    assert len(completions) == 3
+    # Attribution counts requests (cache hits included), like the serial path.
+    assert session.queries == 3
+    # The backend computed only the distinct prompts.
+    assert generator.backend.usage.queries == 2
