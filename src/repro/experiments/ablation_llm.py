@@ -33,8 +33,13 @@ PROFILE_FACTORIES = {
 DEFAULT_PROFILES = ("gpt-4", "gpt-4o", "gpt-3.5")
 
 
-def build_profile_pool(labels: tuple[str, ...]) -> BackendPool:
-    """A pool with one member backend per requested capability profile."""
+def build_profile_pool(labels: tuple[str, ...], *, schedule: str = "tagged") -> BackendPool:
+    """A pool with one member backend per requested capability profile.
+
+    ``schedule`` picks the untagged-request placement policy (the ablation
+    itself tags every request with its profile label, so the scheduler only
+    matters for callers that reuse the pool without routing tags).
+    """
     members = {}
     for label in labels:
         factory = PROFILE_FACTORIES.get(label)
@@ -43,7 +48,7 @@ def build_profile_pool(labels: tuple[str, ...]) -> BackendPool:
                 f"unknown capability profile {label!r}; choose from {', '.join(PROFILE_FACTORIES)}"
             )
         members[label] = factory()
-    return BackendPool(members)
+    return BackendPool(members, schedule=schedule)
 
 
 def run_routed_generation_task(
@@ -77,7 +82,7 @@ def run_ablation_llm(
     names = (drivers or TABLE5_DRIVER_NAMES)[: config.ablation_drivers]
     handlers = [ctx.kernel.record_for_name(name).handler_name for name in names]
 
-    pool = build_profile_pool(labels)
+    pool = build_profile_pool(labels, schedule=config.pool_schedule)
     generators = {
         label: KernelGPT(ctx.kernel, pool, extractor=ctx.extractor, backend_route=label)
         for label in labels

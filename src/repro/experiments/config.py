@@ -27,6 +27,10 @@ class ExperimentConfig:
     #: BackendPool (None = the paper's gpt-4 / gpt-4o / gpt-3.5 line-up);
     #: set from the runner's --backends flag.
     llm_backends: tuple[str, ...] | None = None
+    #: How the ablation's BackendPool places untagged requests: "tagged"
+    #: (default member only) or "round-robin" (budget-aware load balancing
+    #: across members); set from the runner's --pool-schedule flag.
+    pool_schedule: str = "tagged"
     seed: int = 2025
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":

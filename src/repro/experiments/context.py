@@ -141,19 +141,24 @@ class EvaluationContext:
 
 @lru_cache(maxsize=4)
 def shared_context(
-    preset: str = "quick", llm_backends: tuple[str, ...] | None = None
+    preset: str = "quick",
+    llm_backends: tuple[str, ...] | None = None,
+    pool_schedule: str | None = None,
 ) -> EvaluationContext:
     """Process-wide cached context (benchmark modules, process-pool workers).
 
-    ``llm_backends`` carries the runner's ``--backends`` override into
-    worker processes, which rebuild their context from these plain strings
-    (contexts hold locks and engines that cannot cross process boundaries).
+    ``llm_backends`` and ``pool_schedule`` carry the runner's ``--backends``
+    / ``--pool-schedule`` overrides into worker processes, which rebuild
+    their context from these plain strings (contexts hold locks and engines
+    that cannot cross process boundaries).
     """
     from . import config as config_module
 
     configuration = config_module.paper() if preset == "paper" else config_module.quick()
     if llm_backends:
         configuration = configuration.with_overrides(llm_backends=tuple(llm_backends))
+    if pool_schedule:
+        configuration = configuration.with_overrides(pool_schedule=pool_schedule)
     return EvaluationContext(configuration)
 
 

@@ -62,7 +62,10 @@ def run_experiment(name: str, ctx: EvaluationContext) -> TableResult:
 
 
 def run_experiment_for_preset(
-    name: str, preset: str, backends: tuple[str, ...] | None = None
+    name: str,
+    preset: str,
+    backends: tuple[str, ...] | None = None,
+    pool_schedule: str | None = None,
 ) -> TableResult:
     """Run one experiment against a worker-local context for ``preset``.
 
@@ -72,15 +75,18 @@ def run_experiment_for_preset(
     once — the per-process analogue of the thread path's shared context.
     Experiments are deterministic functions of the configuration, so the
     rendered result is byte-identical to the shared-memory path.
-    ``backends`` forwards the ``--backends`` profile line-up.
+    ``backends`` forwards the ``--backends`` profile line-up and
+    ``pool_schedule`` the ``--pool-schedule`` placement policy.
     """
     from .context import shared_context
 
-    return run_experiment(name, shared_context(preset, backends))
+    return run_experiment(name, shared_context(preset, backends, pool_schedule))
 
 
 def run_table1_for_preset(
-    preset: str, backends: tuple[str, ...] | None = None
+    preset: str,
+    backends: tuple[str, ...] | None = None,
+    pool_schedule: str | None = None,
 ) -> "tuple[TableResult, str]":
     """table1 plus its §5.1.3 correctness audit as one process-pool payload.
 
@@ -95,7 +101,7 @@ def run_table1_for_preset(
     """
     from .context import shared_context
 
-    ctx = shared_context(preset, backends)
+    ctx = shared_context(preset, backends, pool_schedule)
     return run_table1(ctx), run_correctness_audit(ctx).render()
 
 
@@ -113,6 +119,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated capability profiles for the LLM-choice "
                              "ablation's BackendPool, e.g. gpt-4,gpt-3.5 "
                              "(default: the paper's gpt-4,gpt-4o,gpt-3.5 line-up)")
+    parser.add_argument("--pool-schedule", choices=["tagged", "round-robin"], default=None,
+                        help="BackendPool placement for untagged LLM requests: tagged "
+                             "(default member only) or round-robin (budget-aware "
+                             "load balancing across pool members)")
     parser.add_argument("--profile", action="store_true",
                         help="print per-stage timings and cache statistics at the end")
     args = parser.parse_args(argv)
@@ -122,6 +132,8 @@ def main(argv: list[str] | None = None) -> int:
     config = paper() if args.preset == "paper" else quick()
     if backends:
         config = config.with_overrides(llm_backends=backends)
+    if args.pool_schedule:
+        config = config.with_overrides(pool_schedule=args.pool_schedule)
     engine = ExecutionEngine(jobs=args.jobs, kind=args.executor)
     ctx = EvaluationContext(config, engine=engine)
     wanted = args.experiment or ["all"]
@@ -168,10 +180,14 @@ def main(argv: list[str] | None = None) -> int:
             tasks = [TaskSpec(key=name, fn=run_experiment, args=(name, ctx)) for name in names]
         else:
             tasks = [
-                TaskSpec(key=name, fn=run_table1_for_preset, args=(args.preset, backends))
+                TaskSpec(
+                    key=name, fn=run_table1_for_preset,
+                    args=(args.preset, backends, args.pool_schedule),
+                )
                 if name == "table1"
                 else TaskSpec(
-                    key=name, fn=run_experiment_for_preset, args=(name, args.preset, backends)
+                    key=name, fn=run_experiment_for_preset,
+                    args=(name, args.preset, backends, args.pool_schedule),
                 )
                 for name in names
             ]

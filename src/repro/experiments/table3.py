@@ -38,7 +38,8 @@ def run_table3(ctx: EvaluationContext) -> TableResult:
     for label, runs in campaigns.items():
         unique = "-"
         if label != "Syzkaller":
-            unique = len(union_coverage(runs) - baseline_blocks)
+            # Bitmap difference_count: one AND-NOT popcount, no label sets.
+            unique = union_coverage(runs).difference_count(baseline_blocks)
         table.add_row(label, round(average_coverage(runs)), unique, round(average_crashes(runs), 1))
     table.add_note("paper: Syzkaller 204,923 / +SyzDescribe 201,634 (14,585 unique) / "
                    "+KernelGPT 209,673 (20,472 unique); crashes 16.0 / 13.7 / 17.7")

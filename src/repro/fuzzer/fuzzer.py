@@ -3,10 +3,13 @@
 The loop mirrors Syzkaller's manager at program granularity: generate or
 mutate a program, execute it in a (simulated) VM, and keep programs that
 discover new coverage in the corpus as future mutation seeds.  A
-:class:`FuzzCampaign` aggregates the results of one run (coverage block set,
-deduplicated crashes, programs executed) and supports the comparisons the
-paper's tables make (total coverage, unique coverage versus a baseline,
-average crashes across repetitions).
+:class:`FuzzCampaign` aggregates the results of one run — coverage as a
+:class:`~repro.kernel.coverage.CoverageBitmap` over the kernel's interned
+block space, deduplicated crashes, programs executed — and supports the
+comparisons the paper's tables make (total coverage, unique coverage versus
+a baseline, average crashes across repetitions).  The hot loop works purely
+on integer indices; label strings only materialise on demand through
+``campaign.coverage.labels()``.
 """
 
 from __future__ import annotations
@@ -15,9 +18,10 @@ import random
 from dataclasses import dataclass, field
 
 from ..kernel import KernelCodebase
+from ..kernel.coverage import CoverageBitmap, CoverageSpace
 from ..syzlang import ConstantTable, SpecSuite
 from .crash import CrashLog
-from .executor import KernelExecutor
+from .executor import ExecutionResult, KernelExecutor
 from .generation import ProgramGenerator
 from .program import Program
 from .vm import VMPool
@@ -25,11 +29,16 @@ from .vm import VMPool
 
 @dataclass
 class FuzzCampaign:
-    """The outcome of one fuzzing campaign."""
+    """The outcome of one fuzzing campaign.
+
+    ``coverage`` is a :class:`CoverageBitmap`: one big integer plus the
+    space digest, so a campaign pickles back from a worker process in a few
+    kilobytes instead of shipping thousands of label strings.
+    """
 
     suite_name: str
     seed: int
-    coverage: set[str] = field(default_factory=set)
+    coverage: CoverageBitmap = field(default_factory=CoverageBitmap)
     crash_log: CrashLog = field(default_factory=CrashLog)
     executed_programs: int = 0
     executed_calls: int = 0
@@ -43,9 +52,13 @@ class FuzzCampaign:
     def unique_crashes(self) -> int:
         return self.crash_log.unique_crashes()
 
-    def unique_coverage_vs(self, other: "FuzzCampaign | set[str]") -> int:
+    def unique_coverage_vs(self, other: "FuzzCampaign | CoverageBitmap | set[str]") -> int:
         baseline = other.coverage if isinstance(other, FuzzCampaign) else other
-        return len(self.coverage - baseline)
+        if isinstance(baseline, CoverageBitmap):
+            return self.coverage.difference_count(baseline)
+        # Plain label-string baselines (legacy callers, tests) compare via
+        # the lazily-materialised label set.
+        return len(self.coverage.labels() - set(baseline))
 
     def found_bug(self, bug_id: str) -> bool:
         return bug_id in self.crash_log.observations
@@ -78,23 +91,38 @@ class Fuzzer:
 
     def run(self, budget_programs: int = 2000) -> FuzzCampaign:
         """Run the campaign for a fixed number of executed programs."""
+        space = self.executor.space
         campaign = FuzzCampaign(suite_name=self.suite.name, seed=self.seed)
         if not self.generator.has_programs:
+            campaign.coverage = CoverageBitmap(space)
             return campaign
+        # Every program executes directly into one campaign-wide accumulator
+        # (an int set plus the rare overflow labels): new-coverage detection
+        # is a before/after size comparison, so the hot loop allocates no
+        # per-program sets and never walks coverage twice.
+        scratch = ExecutionResult(space=space)
+        covered = scratch.coverage
+        extra_labels = scratch.extras
+        crashes = scratch.crashes
+        crash_log = campaign.crash_log
+        executor = self.executor
+        vm_pool = self.vm_pool
+        executed_calls = 0
         for _ in range(budget_programs):
             program = self._next_program()
-            vm = self.vm_pool.acquire()
-            result = self.executor.execute(program)
-            self.vm_pool.release(vm, crashed=bool(result.crashes))
-            campaign.executed_programs += 1
-            campaign.executed_calls += result.executed_calls
-            new_blocks = result.coverage - campaign.coverage
-            campaign.coverage.update(result.coverage)
-            for crash in result.crashes:
-                campaign.crash_log.record(crash)
-            if new_blocks:
+            vm = vm_pool.acquire()
+            known_blocks = len(covered) + len(extra_labels)
+            crashes.clear()
+            executed_calls += executor.execute_into(program, scratch)
+            vm_pool.release(vm, crashed=bool(crashes))
+            if len(covered) + len(extra_labels) != known_blocks:
                 self._corpus.append(program)
+            for crash in crashes:
+                crash_log.record(crash)
+        campaign.executed_programs = budget_programs
+        campaign.executed_calls = executed_calls
         campaign.corpus_size = len(self._corpus)
+        campaign.coverage = CoverageBitmap.from_indices(space, covered, extra_labels)
         return campaign
 
     def _next_program(self) -> Program:
@@ -114,7 +142,8 @@ def run_campaign(
 
     A module-level pure function of its arguments, so it can run as an engine
     task on any executor — including a process pool, since every argument and
-    the returned :class:`FuzzCampaign` are picklable.
+    the returned :class:`FuzzCampaign` are picklable (the campaign's coverage
+    bitmap travels as one integer plus the space digest).
     """
     fuzzer = Fuzzer(kernel, suite, seed=seed, mutation_bias=mutation_bias)
     return fuzzer.run(budget_programs)
@@ -143,6 +172,11 @@ def run_repeated_campaigns(
     ``jobs`` and executor kind.
     """
     from ..engine import TaskSpec, resolve_engine
+
+    # Register the kernel's coverage space in this process before any
+    # fan-out: worker campaigns pickle their bitmaps by space digest, and
+    # the parent must hold the space for the results to re-bind on join.
+    CoverageSpace.for_kernel(kernel)
 
     seeds = [base_seed + repetition * 1009 for repetition in range(repetitions)]
     engine = resolve_engine(engine, jobs, kind=executor)
@@ -181,6 +215,8 @@ def run_campaign_matrix(
     """
     from ..engine import TaskSpec, resolve_engine
 
+    CoverageSpace.for_kernel(kernel)  # parent-side digest registration (see above)
+
     pairs = [
         (label, base_seed + repetition * 1009)
         for label in suites
@@ -211,16 +247,16 @@ def run_campaign_matrix(
 def merge_campaigns(campaigns: list[FuzzCampaign], *, suite_name: str | None = None) -> FuzzCampaign:
     """Fold a list of campaigns into one aggregate :class:`FuzzCampaign`.
 
-    Coverage becomes the union, crash logs merge with summed observation
-    counts, and program/call counters sum — the aggregate view the paper's
-    union-coverage comparisons use.
+    Coverage becomes the bitmap union, crash logs merge with summed
+    observation counts, and program/call counters sum — the aggregate view
+    the paper's union-coverage comparisons use.
     """
     merged = FuzzCampaign(
         suite_name=suite_name or (campaigns[0].suite_name if campaigns else "merged"),
         seed=campaigns[0].seed if campaigns else 0,
     )
     for campaign in campaigns:
-        merged.coverage |= campaign.coverage
+        merged.coverage = merged.coverage | campaign.coverage
         merged.crash_log.merge(campaign.crash_log)
         merged.executed_programs += campaign.executed_programs
         merged.executed_calls += campaign.executed_calls
@@ -240,10 +276,11 @@ def average_crashes(campaigns: list[FuzzCampaign]) -> float:
     return sum(campaign.unique_crashes for campaign in campaigns) / len(campaigns)
 
 
-def union_coverage(campaigns: list[FuzzCampaign]) -> set[str]:
-    blocks: set[str] = set()
+def union_coverage(campaigns: list[FuzzCampaign]) -> CoverageBitmap:
+    """The union of every campaign's coverage as one :class:`CoverageBitmap`."""
+    blocks = CoverageBitmap()
     for campaign in campaigns:
-        blocks |= campaign.coverage
+        blocks = blocks | campaign.coverage
     return blocks
 
 

@@ -8,6 +8,14 @@ directly determines the quality of the programs — wrong device paths never
 open, wrong command values never dispatch, untyped buffers never satisfy
 field-level guards — which is exactly the mechanism behind the paper's
 coverage and bug-finding results.
+
+Argument concretisation is **precompiled**: at ``_index`` time every syscall
+parameter's type expression collapses into a value plan (a small closure),
+resolving constant values, string defaults, struct definitions and byte
+sizes once per suite instead of walking the isinstance ladder per generated
+call.  Plans draw from the generator's rng with exactly the calls (method,
+arguments, order) the interpreted ladder made, so the generated program
+stream is bit-identical to the pre-plan implementation.
 """
 
 from __future__ import annotations
@@ -39,6 +47,11 @@ INTERESTING_VALUES = (
     0x10000000, 0x20000000, 0x40000000, 0x7FFFFFFF, 0x7FFFFF00, 0xFFFFFFFF,
 )
 
+#: rng.choice pools shared by the compiled plans (allocated once, not per call).
+_FLAG_CHOICES = (0, 1, 2, 4)
+_STRUCT_FLAG_CHOICES = (0, 1, 2)
+_FALLBACK_FIELD_CHOICES = (0, 1, 8)
+
 
 class ProgramGenerator:
     """Generates and mutates programs from one specification suite."""
@@ -49,6 +62,8 @@ class ProgramGenerator:
         self.rng = random.Random(seed)
         self._producers: list[Syscall] = []
         self._consumers: dict[str, list[Syscall]] = {}
+        self._struct_plans: dict = {}
+        self._call_plans: dict = {}
         self._index()
 
     def _index(self) -> None:
@@ -59,10 +74,135 @@ class ProgramGenerator:
         for syscall in self.suite:
             for resource in syscall.consumed_resources():
                 self._consumers.setdefault(resource, []).append(syscall)
+        # Precompile per-syscall value plans.  Suites are immutable during a
+        # campaign, so resources / type defs / constants resolve once here.
+        resources = self.suite.resources
+        self._size_resolver = self.suite.size_resolver()
+        for syscall in self.suite:
+            self._call_plans[syscall.full_name] = tuple(
+                (param.name, self._compile(param.type, resources)) for param in syscall.params
+            )
 
     @property
     def has_programs(self) -> bool:
         return bool(self._producers)
+
+    # ---------------------------------------------------------- value plans
+    def _compile(self, expr: TypeExpr, resources):
+        """Collapse one type expression into a ``plan(produced)`` closure.
+
+        Plans capture the generator's rng *bound methods* (the generator is
+        never pickled, and a suite is indexed exactly once per fuzzer), so a
+        concretised value costs one closure call — no isinstance ladder, no
+        constant-table lookup, no rng attribute traversal.
+        """
+        randint = self.rng.randint
+        choice = self.rng.choice
+        if isinstance(expr, ConstType):
+            try:
+                value = self.constants.resolve(expr.value)
+            except Exception:
+                value = 0
+            return lambda produced, _value=value: _value
+        if isinstance(expr, IntType):
+            low, high = expr.min_value, expr.max_value
+            if low is not None and high is not None:
+                return lambda produced, _low=low, _high=high: randint(_low, _high)
+            return lambda produced: choice(INTERESTING_VALUES)
+        if isinstance(expr, FlagsType):
+            return lambda produced: choice(_FLAG_CHOICES)
+        if isinstance(expr, LenType):
+            return lambda produced: randint(1, 8)
+        if isinstance(expr, StringType):
+            text = expr.values[0] if expr.values else "/dev/null"
+            return lambda produced, _text=text: _text
+        if isinstance(expr, (ResourceRef, NamedTypeRef)):
+            name = expr.name
+            if name in resources:
+                def resource_plan(produced, _name=name):
+                    if _name in produced:
+                        return ResourceValue(produced[_name])
+                    # Unsatisfied dependency: no producer ran earlier.
+                    return None
+                return resource_plan
+            struct_plan = self._struct_plan(name)
+
+            def named_plan(produced, _name=name, _struct=struct_plan):
+                if _name in produced:
+                    return ResourceValue(produced[_name])
+                return _struct()
+            return named_plan
+        if isinstance(expr, PtrType):
+            return self._compile(expr.elem, resources)
+        if isinstance(expr, (ArrayType, BufferType)):
+            return lambda produced: BytesValue(randint(0, 64))
+        return lambda produced: 0
+
+    def _struct_plan(self, struct_name: str):
+        """A ``plan() -> StructValue | BytesValue`` for a named payload type."""
+        plan = self._struct_plans.get(struct_name)
+        if plan is not None:
+            return plan
+        definition = self.suite.get_type_def(struct_name)
+        if definition is None:
+            randint = self.rng.randint
+
+            def plan():
+                return BytesValue(randint(0, 64))
+        else:
+            byte_size = definition.byte_size(self._size_resolver)
+            field_plans = tuple(self._compile_field(member) for member in definition.fields)
+
+            def plan(_name=struct_name, _fills=field_plans, _size=byte_size):
+                fields: dict[str, int] = {}
+                for fill in _fills:
+                    fill(fields)
+                return StructValue(struct_name=_name, fields=fields, byte_size=_size)
+        self._struct_plans[struct_name] = plan
+        return plan
+
+    def _compile_field(self, member):
+        """A ``fill(fields)`` writer for one struct/union member."""
+        expr = member.type
+        name = member.name
+        randint = self.rng.randint
+        choice = self.rng.choice
+        if isinstance(expr, LenType):
+            # Mark that this length was generated consistently with its
+            # target array, so the executor can honour len-match guards.
+            lenok = f"__lenok_{name}"
+
+            def fill(fields, _name=name, _lenok=lenok):
+                fields[_name] = randint(1, 8)
+                fields[_lenok] = 1
+            return fill
+        if isinstance(expr, IntType):
+            low, high = expr.min_value, expr.max_value
+            if low is not None and high is not None:
+                def fill(fields, _name=name, _low=low, _high=high):
+                    fields[_name] = randint(_low, _high)
+                return fill
+
+            def fill(fields, _name=name):
+                fields[_name] = choice(INTERESTING_VALUES)
+            return fill
+        if isinstance(expr, FlagsType):
+            def fill(fields, _name=name):
+                fields[_name] = choice(_STRUCT_FLAG_CHOICES)
+            return fill
+        if isinstance(expr, ConstType):
+            try:
+                value = self.constants.resolve(expr.value)
+            except Exception:
+                value = 0
+
+            def fill(fields, _name=name, _value=value):
+                fields[_name] = _value
+            return fill
+
+        def fill(fields, _name=name):
+            fields[_name] = choice(_FALLBACK_FIELD_CHOICES)
+        return fill
 
     # ------------------------------------------------------------- generate
     def generate(self, *, max_calls: int = 10) -> Program:
@@ -70,7 +210,9 @@ class ProgramGenerator:
         program = Program()
         if not self._producers:
             return program
-        producer = self.rng.choice(self._producers)
+        choice = self.rng.choice
+        consumers = self._consumers
+        producer = choice(self._producers)
         produced: dict[str, int] = {}
         self._append_call(program, producer, produced)
         resource = producer.produced_resource()
@@ -79,11 +221,11 @@ class ProgramGenerator:
 
         budget = self.rng.randint(2, max_calls)
         for _ in range(budget):
-            available = [res for res in produced if res in self._consumers]
+            available = [res for res in produced if res in consumers]
             if not available:
                 break
-            resource = self.rng.choice(available)
-            syscall = self.rng.choice(self._consumers[resource])
+            resource = choice(available)
+            syscall = choice(consumers[resource])
             index = self._append_call(program, syscall, produced)
             new_resource = syscall.produced_resource()
             if new_resource is not None:
@@ -92,72 +234,10 @@ class ProgramGenerator:
 
     def _append_call(self, program: Program, syscall: Syscall, produced: dict[str, int]) -> int:
         args = {}
-        for param in syscall.params:
-            args[param.name] = self._value_for(param.type, produced)
+        for name, plan in self._call_plans[syscall.full_name]:
+            args[name] = plan(produced)
         program.calls.append(Call(syscall=syscall.name, spec_name=syscall.full_name, args=args))
         return len(program.calls) - 1
-
-    def _value_for(self, expr: TypeExpr, produced: dict[str, int]):
-        if isinstance(expr, ConstType):
-            try:
-                return self.constants.resolve(expr.value)
-            except Exception:
-                return 0
-        if isinstance(expr, IntType):
-            if expr.min_value is not None and expr.max_value is not None:
-                return self.rng.randint(expr.min_value, expr.max_value)
-            return self.rng.choice(INTERESTING_VALUES)
-        if isinstance(expr, FlagsType):
-            return self.rng.choice((0, 1, 2, 4))
-        if isinstance(expr, LenType):
-            return self.rng.randint(1, 8)
-        if isinstance(expr, StringType):
-            return expr.values[0] if expr.values else "/dev/null"
-        if isinstance(expr, (ResourceRef, NamedTypeRef)):
-            name = expr.name
-            if name in produced:
-                return ResourceValue(produced[name])
-            if name in self.suite.resources:
-                # Unsatisfied dependency: no producer ran earlier in this program.
-                return None
-            return self._struct_value(name)
-        if isinstance(expr, PtrType):
-            return self._value_for(expr.elem, produced)
-        if isinstance(expr, (ArrayType, BufferType)):
-            return BytesValue(self.rng.randint(0, 64))
-        return 0
-
-    def _struct_value(self, struct_name: str) -> StructValue | BytesValue:
-        definition = self.suite.get_type_def(struct_name)
-        if definition is None:
-            return BytesValue(self.rng.randint(0, 64))
-        fields: dict[str, int] = {}
-        for member in definition.fields:
-            expr = member.type
-            if isinstance(expr, LenType):
-                fields[member.name] = self.rng.randint(1, 8)
-                # Mark that this length was generated consistently with its
-                # target array, so the executor can honour len-match guards.
-                fields[f"__lenok_{member.name}"] = 1
-            elif isinstance(expr, IntType):
-                if expr.min_value is not None and expr.max_value is not None:
-                    fields[member.name] = self.rng.randint(expr.min_value, expr.max_value)
-                else:
-                    fields[member.name] = self.rng.choice(INTERESTING_VALUES)
-            elif isinstance(expr, FlagsType):
-                fields[member.name] = self.rng.choice((0, 1, 2))
-            elif isinstance(expr, ConstType):
-                try:
-                    fields[member.name] = self.constants.resolve(expr.value)
-                except Exception:
-                    fields[member.name] = 0
-            else:
-                fields[member.name] = self.rng.choice((0, 1, 8))
-        return StructValue(
-            struct_name=struct_name,
-            fields=fields,
-            byte_size=definition.byte_size(self.suite.size_resolver()),
-        )
 
     # --------------------------------------------------------------- mutate
     def mutate(self, program: Program) -> Program:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 
-@dataclass
+@dataclass(slots=True)
 class StructValue:
     """A typed payload: the struct name the spec used plus concrete field values."""
 
@@ -26,14 +26,14 @@ class StructValue:
         return self.fields.get(field_name, default)
 
 
-@dataclass
+@dataclass(slots=True)
 class BytesValue:
     """An untyped payload: only its length is known."""
 
     length: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ResourceValue:
     """A reference to the result of an earlier call in the same program."""
 
@@ -43,7 +43,7 @@ class ResourceValue:
 Value = int | str | StructValue | BytesValue | ResourceValue | None
 
 
-@dataclass
+@dataclass(slots=True)
 class Call:
     """One concrete syscall invocation."""
 
@@ -55,7 +55,7 @@ class Call:
         return self.args.get(name, default)
 
 
-@dataclass
+@dataclass(slots=True)
 class Program:
     """An ordered sequence of calls."""
 
@@ -68,19 +68,21 @@ class Program:
         return iter(self.calls)
 
     def clone(self) -> "Program":
+        # Mutation-hot path: only the mutable payload values (structs and
+        # byte buffers) need fresh copies; ints/strings/None and the
+        # effectively-immutable ResourceValue references are shared.
         cloned_calls = []
+        append = cloned_calls.append
         for call in self.calls:
             args: dict[str, Value] = {}
             for name, value in call.args.items():
-                if isinstance(value, StructValue):
-                    args[name] = StructValue(value.struct_name, dict(value.fields), value.byte_size)
-                elif isinstance(value, BytesValue):
-                    args[name] = BytesValue(value.length)
-                elif isinstance(value, ResourceValue):
-                    args[name] = ResourceValue(value.producer_index)
-                else:
-                    args[name] = value
-            cloned_calls.append(Call(call.syscall, call.spec_name, args))
+                cls = value.__class__
+                if cls is StructValue:
+                    value = StructValue(value.struct_name, dict(value.fields), value.byte_size)
+                elif cls is BytesValue:
+                    value = BytesValue(value.length)
+                args[name] = value
+            append(Call(call.syscall, call.spec_name, args))
         return Program(cloned_calls)
 
     def spec_names(self) -> tuple[str, ...]:

@@ -1,0 +1,521 @@
+"""The retained string-set reference implementation of the fuzz loop.
+
+Before the coverage-bitmap rewrite, the executor reported coverage as a set
+of label strings and the campaign loop unioned those sets.  This module
+preserves that implementation **verbatim** as the equivalence oracle:
+
+* ``tests/test_coverage_bitmap.py`` proves that every campaign's
+  :meth:`~repro.kernel.coverage.CoverageBitmap.labels` equals the reference
+  string set (and that crashes, corpus growth and call counts match) for all
+  suites in the determinism matrix;
+* ``benchmarks/bench_fuzzer_hotloop.py`` uses it as the measured baseline
+  the interned hot loop must beat.
+
+It is deliberately *not* exported from ``repro.fuzzer``'s public namespace —
+nothing in the evaluation path should ever run it — and any semantic change
+to the bitmap executor must be mirrored here or the equivalence tests fail.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..kernel import (
+    BugTrigger,
+    DispatchStyle,
+    Guard,
+    GuardKind,
+    IoctlOp,
+    KernelCodebase,
+    SecondaryHandlerTruth,
+    ioc_nr,
+)
+from ..syzlang import (
+    ArrayType,
+    BufferType,
+    ConstType,
+    ConstantTable,
+    FlagsType,
+    IntType,
+    LenType,
+    NamedTypeRef,
+    PtrType,
+    ResourceRef,
+    SpecSuite,
+    StringType,
+    Syscall,
+    TypeExpr,
+)
+from .crash import CrashLog, CrashReport
+from .generation import INTERESTING_VALUES
+from .program import BytesValue, Call, Program, ResourceValue, StructValue
+
+
+class LadderProgramGenerator:
+    """The pre-plan generator: per-value isinstance ladder, no compilation.
+
+    Byte-for-byte the implementation that shipped before value plans.  Its
+    rng call sequence is the contract the compiled plans must preserve, so
+    the reference campaign generating through this class while the bitmap
+    campaign generates through the compiled plans proves the two program
+    streams identical, not merely both self-consistent.
+    """
+
+    def __init__(self, suite: SpecSuite, constants: ConstantTable, *, seed: int = 0):
+        self.suite = suite
+        self.constants = constants
+        self.rng = random.Random(seed)
+        self._producers: list[Syscall] = []
+        self._consumers: dict[str, list[Syscall]] = {}
+        self._index()
+
+    def _index(self) -> None:
+        for syscall in self.suite:
+            resource = syscall.produced_resource()
+            if resource is not None and syscall.name in ("openat", "socket", "open"):
+                self._producers.append(syscall)
+        for syscall in self.suite:
+            for resource in syscall.consumed_resources():
+                self._consumers.setdefault(resource, []).append(syscall)
+
+    @property
+    def has_programs(self) -> bool:
+        return bool(self._producers)
+
+    # ------------------------------------------------------------- generate
+    def generate(self, *, max_calls: int = 10) -> Program:
+        program = Program()
+        if not self._producers:
+            return program
+        producer = self.rng.choice(self._producers)
+        produced: dict[str, int] = {}
+        self._append_call(program, producer, produced)
+        resource = producer.produced_resource()
+        if resource is not None:
+            produced[resource] = 0
+
+        budget = self.rng.randint(2, max_calls)
+        for _ in range(budget):
+            available = [res for res in produced if res in self._consumers]
+            if not available:
+                break
+            resource = self.rng.choice(available)
+            syscall = self.rng.choice(self._consumers[resource])
+            index = self._append_call(program, syscall, produced)
+            new_resource = syscall.produced_resource()
+            if new_resource is not None:
+                produced[new_resource] = index
+        return program
+
+    def _append_call(self, program: Program, syscall: Syscall, produced: dict[str, int]) -> int:
+        args = {}
+        for param in syscall.params:
+            args[param.name] = self._value_for(param.type, produced)
+        program.calls.append(Call(syscall=syscall.name, spec_name=syscall.full_name, args=args))
+        return len(program.calls) - 1
+
+    def _value_for(self, expr: TypeExpr, produced: dict[str, int]):
+        if isinstance(expr, ConstType):
+            try:
+                return self.constants.resolve(expr.value)
+            except Exception:
+                return 0
+        if isinstance(expr, IntType):
+            if expr.min_value is not None and expr.max_value is not None:
+                return self.rng.randint(expr.min_value, expr.max_value)
+            return self.rng.choice(INTERESTING_VALUES)
+        if isinstance(expr, FlagsType):
+            return self.rng.choice((0, 1, 2, 4))
+        if isinstance(expr, LenType):
+            return self.rng.randint(1, 8)
+        if isinstance(expr, StringType):
+            return expr.values[0] if expr.values else "/dev/null"
+        if isinstance(expr, (ResourceRef, NamedTypeRef)):
+            name = expr.name
+            if name in produced:
+                return ResourceValue(produced[name])
+            if name in self.suite.resources:
+                return None
+            return self._struct_value(name)
+        if isinstance(expr, PtrType):
+            return self._value_for(expr.elem, produced)
+        if isinstance(expr, (ArrayType, BufferType)):
+            return BytesValue(self.rng.randint(0, 64))
+        return 0
+
+    def _struct_value(self, struct_name: str) -> StructValue | BytesValue:
+        definition = self.suite.get_type_def(struct_name)
+        if definition is None:
+            return BytesValue(self.rng.randint(0, 64))
+        fields: dict[str, int] = {}
+        for member in definition.fields:
+            expr = member.type
+            if isinstance(expr, LenType):
+                fields[member.name] = self.rng.randint(1, 8)
+                fields[f"__lenok_{member.name}"] = 1
+            elif isinstance(expr, IntType):
+                if expr.min_value is not None and expr.max_value is not None:
+                    fields[member.name] = self.rng.randint(expr.min_value, expr.max_value)
+                else:
+                    fields[member.name] = self.rng.choice(INTERESTING_VALUES)
+            elif isinstance(expr, FlagsType):
+                fields[member.name] = self.rng.choice((0, 1, 2))
+            elif isinstance(expr, ConstType):
+                try:
+                    fields[member.name] = self.constants.resolve(expr.value)
+                except Exception:
+                    fields[member.name] = 0
+            else:
+                fields[member.name] = self.rng.choice((0, 1, 8))
+        return StructValue(
+            struct_name=struct_name,
+            fields=fields,
+            byte_size=definition.byte_size(self.suite.size_resolver()),
+        )
+
+    # --------------------------------------------------------------- mutate
+    def mutate(self, program: Program) -> Program:
+        mutated = program.clone()
+        if not mutated.calls:
+            return mutated
+        choice = self.rng.random()
+        if choice < 0.7:
+            self._mutate_argument(mutated)
+        elif choice < 0.85 and len(mutated.calls) > 1:
+            index = self.rng.randrange(1, len(mutated.calls))
+            mutated.calls.append(mutated.calls[index])
+        else:
+            extension = self.generate(max_calls=3)
+            if extension.calls and extension.calls[0].spec_name == mutated.calls[0].spec_name:
+                mutated.calls.extend(extension.calls[1:])
+        return mutated
+
+    def _mutate_argument(self, program: Program) -> None:
+        call = self.rng.choice(program.calls)
+        struct_args = [value for value in call.args.values() if isinstance(value, StructValue)]
+        if struct_args:
+            target = self.rng.choice(struct_args)
+            names = [name for name in target.fields if not name.startswith("__")]
+            if names:
+                field_name = self.rng.choice(names)
+                target.fields[field_name] = self.rng.choice(INTERESTING_VALUES)
+                return
+        byte_args = [value for value in call.args.values() if isinstance(value, BytesValue)]
+        if byte_args:
+            self.rng.choice(byte_args).length = self.rng.choice((0, 8, 64, 4096))
+
+
+@dataclass
+class ReferenceResult:
+    """Coverage (label strings) and crashes of one reference execution."""
+
+    coverage: set[str] = field(default_factory=set)
+    crashes: list[CrashReport] = field(default_factory=list)
+    executed_calls: int = 0
+
+
+class _FdBinding:
+    """What a program-level file descriptor refers to."""
+
+    __slots__ = ("kind", "driver", "secondary", "socket")
+
+    def __init__(self, kind, driver=None, secondary=None, socket=None):
+        self.kind = kind                       # "driver" | "secondary" | "socket"
+        self.driver = driver
+        self.secondary = secondary
+        self.socket = socket
+
+
+class StringSetExecutor:
+    """The pre-bitmap executor: f-string labels, linear ``_match_ioctl`` scans."""
+
+    def __init__(self, kernel: KernelCodebase):
+        self.kernel = kernel
+
+    # ------------------------------------------------------------------ API
+    def execute(self, program: Program) -> ReferenceResult:
+        result = ReferenceResult()
+        bindings: dict[int, _FdBinding] = {}
+        produced_resources: set[str] = set()
+
+        for index, call in enumerate(program):
+            result.executed_calls += 1
+            if call.syscall in ("openat", "open"):
+                self._exec_open(call, index, bindings, result)
+            elif call.syscall == "socket":
+                self._exec_socket(call, index, bindings, result)
+            elif call.syscall == "ioctl":
+                self._exec_ioctl(call, index, bindings, produced_resources, result)
+            else:
+                self._exec_sockcall(call, bindings, result)
+        return result
+
+    # ------------------------------------------------------------- syscalls
+    def _exec_open(self, call, index, bindings, result) -> None:
+        path = call.arg("file")
+        if not isinstance(path, str):
+            return
+        driver = self.kernel.resolve_device(path)
+        if driver is None:
+            return
+        for block in range(driver.open_blocks):
+            result.coverage.add(f"{driver.name}:open:{block}")
+        bindings[index] = _FdBinding(kind="driver", driver=driver)
+
+    def _exec_socket(self, call, index, bindings, result) -> None:
+        family = call.arg("domain")
+        sock_type = call.arg("type")
+        protocol = call.arg("proto")
+        if not all(isinstance(value, int) for value in (family, sock_type, protocol)):
+            return
+        socket = self.kernel.resolve_socket(family, sock_type, protocol)
+        if socket is None:
+            return
+        for block in range(socket.create_blocks):
+            result.coverage.add(f"{socket.name}:create:{block}")
+        bindings[index] = _FdBinding(kind="socket", socket=socket)
+
+    def _exec_ioctl(self, call, index, bindings, produced_resources, result) -> None:
+        binding = self._resolve_fd(call.arg("fd"), bindings)
+        if binding is None or binding.kind == "socket":
+            return
+        cmd = call.arg("cmd")
+        if not isinstance(cmd, int):
+            return
+        if binding.kind == "driver":
+            driver = binding.driver
+            owner = driver.name
+            ops = driver.ops
+            rewrite = driver.dispatch in (DispatchStyle.IOC_NR_REWRITE, DispatchStyle.TABLE_LOOKUP)
+            entry_blocks = driver.ioctl_entry_blocks
+        else:
+            secondary = binding.secondary
+            owner = secondary.name
+            ops = secondary.ops
+            rewrite = False
+            entry_blocks = secondary.ioctl_entry_blocks
+        for block in range(entry_blocks):
+            result.coverage.add(f"{owner}:ioctl-entry:{block}")
+
+        op = self._match_ioctl(ops, cmd, rewrite)
+        if op is None:
+            result.coverage.add(f"{owner}:ioctl-entry:default")
+            return
+        self._cover_op(owner, op.macro, op.base_blocks, op.guards, op.bug, call.arg("arg"),
+                       op.arg_struct, produced_resources, result, requires=op.requires)
+        if op.produces:
+            produced_resources.add(op.produces)
+            secondary = self._secondary_for(binding, op.produces)
+            if secondary is not None:
+                bindings[index] = _FdBinding(kind="secondary", driver=binding.driver, secondary=secondary)
+
+    def _exec_sockcall(self, call, bindings, result) -> None:
+        binding = self._resolve_fd(call.arg("fd"), bindings)
+        if binding is None or binding.kind != "socket":
+            return
+        socket = binding.socket
+        result.coverage.add(f"{socket.name}:{call.syscall}:entry")
+
+        if call.syscall in ("setsockopt", "getsockopt"):
+            optname = call.arg("optname")
+            if not isinstance(optname, int):
+                return
+            op = next(
+                (candidate for candidate in socket.ops
+                 if candidate.syscall == call.syscall and candidate.value == optname),
+                None,
+            )
+            payload = call.arg("optval")
+        else:
+            op = next((candidate for candidate in socket.ops if candidate.syscall == call.syscall), None)
+            payload = call.arg("buf") or call.arg("addr")
+        if op is None:
+            return
+        self._cover_op(socket.name, op.interface_name, op.base_blocks, op.guards, op.bug,
+                       payload, op.arg_struct, set(), result)
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _resolve_fd(value, bindings):
+        if isinstance(value, ResourceValue):
+            return bindings.get(value.producer_index)
+        return None
+
+    @staticmethod
+    def _match_ioctl(ops: tuple[IoctlOp, ...], cmd: int, rewrite: bool) -> IoctlOp | None:
+        for op in ops:
+            if rewrite:
+                if ((cmd >> 8) & 0xFF) != ((op.value >> 8) & 0xFF):
+                    continue
+                if op.nr_value is not None and ioc_nr(cmd) == op.nr_value:
+                    return op
+            elif cmd == op.value:
+                return op
+        return None
+
+    def _secondary_for(self, binding, resource: str) -> SecondaryHandlerTruth | None:
+        driver = binding.driver
+        if driver is None:
+            return None
+        for secondary in driver.secondary_handlers:
+            if secondary.resource == resource:
+                return secondary
+        return None
+
+    def _cover_op(self, owner, op_label, base_blocks, guards, bug, payload, arg_struct,
+                  produced_resources, result, *, requires=None) -> None:
+        if requires and requires not in produced_resources:
+            result.coverage.add(f"{owner}:{op_label}:requires-missing")
+            return
+        for block in range(base_blocks):
+            result.coverage.add(f"{owner}:{op_label}:base:{block}")
+
+        typed = isinstance(payload, StructValue)
+        payload_size = 0
+        if isinstance(payload, StructValue):
+            payload_size = payload.byte_size or 4096
+        elif isinstance(payload, BytesValue):
+            payload_size = payload.length
+
+        truth_size = self._truth_struct_size(owner, arg_struct)
+        if arg_struct is not None and payload_size >= truth_size:
+            result.coverage.add(f"{owner}:{op_label}:copy-in")
+
+        for guard_index, guard in enumerate(guards):
+            if self._guard_passes(guard, payload, typed, produced_resources):
+                for bonus in range(guard.bonus_blocks):
+                    result.coverage.add(f"{owner}:{op_label}:guard{guard_index}:{bonus}")
+
+        if bug is not None and self._bug_fires(bug, payload, typed, produced_resources):
+            catalog = self.kernel.bug_catalog
+            if bug.bug_id in catalog:
+                known = catalog.get(bug.bug_id)
+                result.crashes.append(
+                    CrashReport(bug_id=known.bug_id, title=known.title,
+                                crash_type=known.crash_type, subsystem=known.subsystem)
+                )
+            else:
+                result.crashes.append(
+                    CrashReport(bug_id=bug.bug_id, title=bug.bug_id, crash_type="unknown", subsystem=owner)
+                )
+
+    def _truth_struct_size(self, owner: str, arg_struct: str | None) -> int:
+        if arg_struct is None:
+            return 0
+        truth = self.kernel.drivers.get(owner) or self.kernel.sockets.get(owner)
+        if truth is None:
+            for driver in self.kernel.drivers.values():
+                for secondary in driver.secondary_handlers:
+                    if secondary.name == owner:
+                        truth = driver
+                        break
+        if truth is None:
+            return 8
+        struct = truth.struct_by_name(arg_struct)
+        return struct.byte_size() if struct is not None else 8
+
+    @staticmethod
+    def _guard_passes(guard: Guard, payload, typed: bool, produced_resources: set[str]) -> bool:
+        if guard.kind is GuardKind.NEEDS_RESOURCE:
+            return guard.resource in produced_resources
+        if guard.kind is GuardKind.MIN_SIZE:
+            if isinstance(payload, StructValue):
+                return payload.byte_size >= guard.value
+            if isinstance(payload, BytesValue):
+                return payload.length >= guard.value
+            return False
+        if not typed or not isinstance(payload, StructValue):
+            return False
+        value = payload.get(guard.field)
+        if guard.kind is GuardKind.FIELD_RANGE:
+            return guard.low <= value <= guard.high
+        if guard.kind is GuardKind.FIELD_EQUALS:
+            return value == guard.value
+        if guard.kind is GuardKind.FLAGS_SUBSET:
+            return (value & ~guard.value) == 0
+        if guard.kind is GuardKind.LEN_MATCHES:
+            return payload.get(f"__lenok_{guard.field}", 0) == 1
+        return False
+
+    @staticmethod
+    def _bug_fires(bug: BugTrigger, payload, typed: bool, produced_resources: set[str]) -> bool:
+        if bug.requires_resource and bug.requires_resource not in produced_resources:
+            return False
+        if bug.requires_typed and not typed:
+            return False
+        if not isinstance(payload, StructValue):
+            return False
+        value = payload.get(bug.field)
+        if bug.equals is not None:
+            return value == bug.equals
+        if bug.min_value is not None and value < bug.min_value:
+            return False
+        if bug.max_value is not None and value > bug.max_value:
+            return False
+        return True
+
+
+@dataclass
+class ReferenceCampaign:
+    """The outcome of one reference campaign (string-set coverage)."""
+
+    suite_name: str
+    seed: int
+    coverage: set[str] = field(default_factory=set)
+    crash_log: CrashLog = field(default_factory=CrashLog)
+    executed_programs: int = 0
+    executed_calls: int = 0
+    corpus_size: int = 0
+
+
+def run_reference_campaign(
+    kernel: KernelCodebase,
+    suite: SpecSuite,
+    seed: int,
+    budget_programs: int,
+    mutation_bias: float = 0.6,
+) -> ReferenceCampaign:
+    """One seeded campaign through the legacy string-set loop.
+
+    Mirrors :meth:`repro.fuzzer.fuzzer.Fuzzer.run` decision for decision —
+    same two rng streams (loop rng and generator rng, both seeded with
+    ``seed``), same mutate-vs-generate choice, same keep-if-new-coverage
+    corpus rule — but generates through the pre-plan
+    :class:`LadderProgramGenerator` and executes through the string-set
+    executor, so its coverage set is exactly what the bitmap campaign's
+    ``labels()`` must reproduce *and* any rng drift in the compiled value
+    plans shows up as a coverage mismatch.
+    """
+    executor = StringSetExecutor(kernel)
+    generator = LadderProgramGenerator(suite, kernel.constants, seed=seed)
+    rng = random.Random(seed)
+    campaign = ReferenceCampaign(suite_name=suite.name, seed=seed)
+    if not generator.has_programs:
+        return campaign
+    corpus: list[Program] = []
+    for _ in range(budget_programs):
+        if corpus and rng.random() < mutation_bias:
+            program = generator.mutate(rng.choice(corpus))
+        else:
+            program = generator.generate()
+        result = executor.execute(program)
+        campaign.executed_programs += 1
+        campaign.executed_calls += result.executed_calls
+        new_blocks = result.coverage - campaign.coverage
+        campaign.coverage.update(result.coverage)
+        for crash in result.crashes:
+            campaign.crash_log.record(crash)
+        if new_blocks:
+            corpus.append(program)
+    campaign.corpus_size = len(corpus)
+    return campaign
+
+
+__all__ = [
+    "LadderProgramGenerator",
+    "ReferenceCampaign",
+    "ReferenceResult",
+    "StringSetExecutor",
+    "run_reference_campaign",
+]

@@ -245,6 +245,19 @@ class KernelCodebase:
             interfaces[record.handler_name] = (record.kind, record.truth.interface_names())
         return interfaces
 
+    # ------------------------------------------------------------- coverage
+    def coverage_space(self) -> "CoverageSpace":
+        """The interned coverage-block label space of this codebase.
+
+        Built once per kernel (weak-cached by the coverage module) in
+        construction order, so every process that assembles the same kernel
+        assigns identical block indices — the invariant that lets campaign
+        bitmaps cross process boundaries as plain integers.
+        """
+        from .coverage import CoverageSpace
+
+        return CoverageSpace.for_kernel(self)
+
     # ------------------------------------------------------------------ misc
     def stats(self) -> dict[str, int]:
         loaded = self.loaded_records()

@@ -1,0 +1,367 @@
+"""Interned coverage-block label space and integer-backed coverage bitmaps.
+
+The fuzz hot loop used to report coverage as a Python set of label strings
+(``"dm:DM_DEV_CREATE:base:3"``), which meant every executed program formatted
+f-strings, hashed them, and unioned string sets — the dominant interpreter
+cost of a campaign once LLM queries are memoized.  This module replaces that
+representation with dense integer indices:
+
+* :class:`CoverageSpace` enumerates every block label the executor can ever
+  report for one :class:`~repro.kernel.codebase.KernelCodebase` — driver open
+  blocks, socket create blocks, ioctl entry/default blocks, per-op base /
+  copy-in / guard-bonus / requires-missing blocks, and sockcall entry blocks
+  — and interns each label to a dense index.  **Indices are assigned in
+  codebase construction order** (drivers, then sockets, each in registration
+  order; never from iteration over sets), so two processes that build the
+  same kernel assign identical indices and bitmaps can cross process
+  boundaries as plain integers.
+* :class:`CoverageBitmap` is an immutable bitset over one space (one big
+  ``int`` plus an overflow set for labels outside the space — e.g. a
+  wrong-spec sockcall name) with the set-algebra the paper's comparisons
+  need: ``count``, ``union``, ``difference_count``, and a lazy
+  :meth:`~CoverageBitmap.labels` that recovers the human-readable label set
+  for reporting and equivalence tests.
+
+A bitmap pickles as its bits plus the space *digest*, not the thousands of
+label strings, which keeps engine task results small.  Unpickling re-binds
+the space through a process-wide registry keyed by digest; campaign drivers
+register the space before fanning out (see
+:func:`repro.fuzzer.fuzzer.run_repeated_campaigns`), so worker results always
+resolve in the parent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .codebase import KernelCodebase
+    from .ops import DriverTruth, IoctlOp, SecondaryHandlerTruth, SockOp, SocketTruth
+
+#: Sockcall syscalls interned for every socket in addition to those its op
+#: table names: programs generated from wrong specifications can issue any of
+#: these against a socket fd, and the executor reports the entry label whether
+#: or not an op matches.  Labels outside this union fall back to the bitmap's
+#: overflow set, so the enumeration is a fast path, not a correctness bound.
+COMMON_SOCKCALLS: tuple[str, ...] = (
+    "setsockopt", "getsockopt", "bind", "connect", "sendto", "recvfrom",
+    "sendmsg", "recvmsg", "accept", "listen", "write", "read",
+)
+
+#: Process-wide digest → space registry used to re-bind unpickled bitmaps.
+_SPACES_BY_DIGEST: "weakref.WeakValueDictionary[str, CoverageSpace]" = weakref.WeakValueDictionary()
+
+#: Per-kernel space cache (weak keys: spaces die with their kernel).
+_SPACES_BY_KERNEL: "weakref.WeakKeyDictionary[KernelCodebase, CoverageSpace]" = weakref.WeakKeyDictionary()
+
+
+def _op_labels(owner: str, op_label: str, op: "IoctlOp | SockOp", *, requires: bool) -> Iterator[str]:
+    """Every label :meth:`KernelExecutor._cover_op` can emit for one op."""
+    if requires:
+        yield f"{owner}:{op_label}:requires-missing"
+    for block in range(op.base_blocks):
+        yield f"{owner}:{op_label}:base:{block}"
+    if op.arg_struct is not None:
+        yield f"{owner}:{op_label}:copy-in"
+    for guard_index, guard in enumerate(op.guards):
+        for bonus in range(guard.bonus_blocks):
+            yield f"{owner}:{op_label}:guard{guard_index}:{bonus}"
+
+
+def _ioctl_surface_labels(owner: str, entry_blocks: int, ops: "tuple[IoctlOp, ...]") -> Iterator[str]:
+    for block in range(entry_blocks):
+        yield f"{owner}:ioctl-entry:{block}"
+    yield f"{owner}:ioctl-entry:default"
+    for op in ops:
+        yield from _op_labels(owner, op.macro, op, requires=True)
+
+
+def enumerate_kernel_labels(kernel: "KernelCodebase") -> Iterator[str]:
+    """Every coverage label reachable in ``kernel``, in construction order."""
+    for driver in kernel.drivers.values():
+        for block in range(driver.open_blocks):
+            yield f"{driver.name}:open:{block}"
+        yield from _ioctl_surface_labels(driver.name, driver.ioctl_entry_blocks, driver.ops)
+        for secondary in driver.secondary_handlers:
+            yield from _ioctl_surface_labels(
+                secondary.name, secondary.ioctl_entry_blocks, secondary.ops
+            )
+    for socket in kernel.sockets.values():
+        for block in range(socket.create_blocks):
+            yield f"{socket.name}:create:{block}"
+        sockcalls = list(dict.fromkeys(op.syscall for op in socket.ops))
+        sockcalls.extend(name for name in COMMON_SOCKCALLS if name not in sockcalls)
+        for syscall in sockcalls:
+            yield f"{socket.name}:{syscall}:entry"
+        for op in socket.ops:
+            yield from _op_labels(socket.name, op.interface_name, op, requires=False)
+
+
+class CoverageSpace:
+    """A dense label ↔ index interning table for one kernel codebase."""
+
+    __slots__ = ("_labels", "_index", "_digest", "__weakref__")
+
+    def __init__(self, labels: Iterable[str]):
+        # Dedupe preserving first appearance: enumeration order is the
+        # contract, and a duplicate label simply maps to its first index.
+        index: dict[str, int] = {}
+        for label in labels:
+            if label not in index:
+                index[label] = len(index)
+        self._index = index
+        self._labels = tuple(index)
+        self._digest = hashlib.sha256("\n".join(self._labels).encode("utf-8")).hexdigest()
+        _SPACES_BY_DIGEST.setdefault(self._digest, self)
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def for_kernel(cls, kernel: "KernelCodebase") -> "CoverageSpace":
+        """The (cached) coverage space of ``kernel``.
+
+        Building the space walks the whole ground truth once; every executor,
+        campaign driver and report for the same kernel object shares the one
+        instance.  The cache is weak, so spaces die with their kernel.
+        """
+        space = _SPACES_BY_KERNEL.get(kernel)
+        if space is None:
+            space = cls(enumerate_kernel_labels(kernel))
+            _SPACES_BY_KERNEL[kernel] = space
+        return space
+
+    @staticmethod
+    def by_digest(digest: str) -> "CoverageSpace | None":
+        """Resolve a space by digest (how unpickled bitmaps re-bind)."""
+        return _SPACES_BY_DIGEST.get(digest)
+
+    # --------------------------------------------------------------- lookups
+    @property
+    def size(self) -> int:
+        return len(self._labels)
+
+    @property
+    def digest(self) -> str:
+        return self._digest
+
+    def index_of(self, label: str) -> int:
+        return self._index[label]
+
+    def get(self, label: str) -> int | None:
+        return self._index.get(label)
+
+    def label_of(self, index: int) -> str:
+        return self._labels[index]
+
+    def indices_of(self, labels: Iterable[str]) -> tuple[int, ...]:
+        """Intern a label sequence to its index tuple (plan precomputation)."""
+        return tuple(self._index[label] for label in labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoverageSpace(size={len(self._labels)}, digest={self._digest[:12]}...)"
+
+
+class CoverageBitmap:
+    """An immutable coverage bitset over one :class:`CoverageSpace`.
+
+    ``bits`` is one arbitrary-precision integer — bit *i* set means block
+    label *i* of the space was covered.  ``extras`` holds the rare labels
+    outside the space (a sockcall entry from a syscall no ground-truth op
+    names); they participate in every count and set operation so the bitmap
+    is *exactly* equivalent to the legacy string set, not approximately.
+
+    The empty bitmap ``CoverageBitmap()`` is space-less and acts as the
+    identity for union/difference against any space (campaign defaults,
+    ``merge_campaigns([])``).
+    """
+
+    __slots__ = ("_bits", "_extras", "_space", "_digest")
+
+    def __init__(
+        self,
+        space: CoverageSpace | None = None,
+        bits: int = 0,
+        extras: Iterable[str] = (),
+    ):
+        self._space = space
+        self._digest = space.digest if space is not None else None
+        self._bits = bits
+        self._extras = frozenset(extras)
+
+    @classmethod
+    def from_indices(
+        cls,
+        space: CoverageSpace,
+        indices: Iterable[int],
+        extras: Iterable[str] = (),
+    ) -> "CoverageBitmap":
+        """Build a bitmap from covered indices (one byte-buffer pass)."""
+        buffer = bytearray((space.size + 7) >> 3)
+        for index in indices:
+            buffer[index >> 3] |= 1 << (index & 7)
+        return cls(space, int.from_bytes(buffer, "little"), extras)
+
+    @classmethod
+    def from_labels(cls, space: CoverageSpace, labels: Iterable[str]) -> "CoverageBitmap":
+        """Build a bitmap from label strings (reporting/test convenience)."""
+        indices: list[int] = []
+        extras: list[str] = []
+        for label in labels:
+            index = space.get(label)
+            if index is None:
+                extras.append(label)
+            else:
+                indices.append(index)
+        return cls.from_indices(space, indices, extras)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    @property
+    def extras(self) -> frozenset[str]:
+        return self._extras
+
+    @property
+    def digest(self) -> str | None:
+        return self._digest
+
+    @property
+    def count(self) -> int:
+        """Number of covered blocks (the paper's ``Cov`` numbers)."""
+        return self._bits.bit_count() + len(self._extras)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __bool__(self) -> bool:
+        return bool(self._bits) or bool(self._extras)
+
+    # ---------------------------------------------------------- set algebra
+    def _aligned(self, other: "CoverageBitmap") -> tuple[CoverageSpace | None, str | None]:
+        if (
+            self._digest is not None
+            and other._digest is not None
+            and self._digest != other._digest
+        ):
+            raise ValueError("cannot combine coverage bitmaps from different coverage spaces")
+        if self._space is not None:
+            return self._space, self._digest
+        return other._space, other._digest
+
+    def union(self, other: "CoverageBitmap") -> "CoverageBitmap":
+        space, digest = self._aligned(other)
+        merged = CoverageBitmap(space, self._bits | other._bits, self._extras | other._extras)
+        if merged._digest is None:
+            merged._digest = digest
+        return merged
+
+    __or__ = union
+
+    def difference_count(self, other: "CoverageBitmap") -> int:
+        """``len(self - other)`` without materialising the difference."""
+        self._aligned(other)
+        return (self._bits & ~other._bits).bit_count() + len(self._extras - other._extras)
+
+    def __sub__(self, other: "CoverageBitmap") -> "CoverageBitmap":
+        space, digest = self._aligned(other)
+        result = CoverageBitmap(space, self._bits & ~other._bits, self._extras - other._extras)
+        if result._digest is None:
+            result._digest = digest
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoverageBitmap):
+            return NotImplemented
+        if self._bits != other._bits or self._extras != other._extras:
+            return False
+        # Two empty bitmaps are equal regardless of space binding; non-empty
+        # bitmaps must agree on the space they index into.
+        if not self._bits:
+            return True
+        return (
+            self._digest == other._digest
+            or self._digest is None
+            or other._digest is None
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._bits, self._extras))
+
+    # ------------------------------------------------------------ reporting
+    def _resolve_space(self) -> CoverageSpace:
+        if self._space is not None:
+            return self._space
+        if self._digest is not None:
+            space = _SPACES_BY_DIGEST.get(self._digest)
+            if space is not None:
+                self._space = space
+                return space
+        raise RuntimeError(
+            "coverage space unavailable: build it in this process first "
+            "(CoverageSpace.for_kernel(kernel)) so unpickled bitmaps can re-bind"
+        )
+
+    def indices(self) -> Iterator[int]:
+        """Set bit indices, ascending."""
+        bits = self._bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def labels(self) -> set[str]:
+        """The covered block labels as a plain string set (lazy, for reports
+        and the legacy-equivalence tests; never touched by the hot loop)."""
+        if not self._bits:
+            return set(self._extras)
+        space = self._resolve_space()
+        covered = {space.label_of(index) for index in self.indices()}
+        covered.update(self._extras)
+        return covered
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate labels deterministically: index order, then sorted extras."""
+        if self._bits:
+            space = self._resolve_space()
+            for index in self.indices():
+                yield space.label_of(index)
+        yield from sorted(self._extras)
+
+    def __contains__(self, label: str) -> bool:
+        if label in self._extras:
+            return True
+        if not self._bits:
+            return False
+        index = self._resolve_space().get(label)
+        return index is not None and bool(self._bits >> index & 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoverageBitmap(count={self.count}, extras={len(self._extras)})"
+
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self) -> tuple:
+        # Bits + digest, never the label strings: a campaign's coverage
+        # pickles in a few kilobytes instead of shipping thousands of labels
+        # per engine task result.
+        return (self._bits, self._extras, self._digest)
+
+    def __setstate__(self, state: tuple) -> None:
+        self._bits, self._extras, self._digest = state
+        self._space = _SPACES_BY_DIGEST.get(self._digest) if self._digest else None
+
+
+__all__ = [
+    "COMMON_SOCKCALLS",
+    "CoverageBitmap",
+    "CoverageSpace",
+    "enumerate_kernel_labels",
+]

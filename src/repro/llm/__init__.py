@@ -13,7 +13,7 @@ from .backend import (
 )
 from .degraded import DegradedBackend
 from .oracle import OracleBackend, slice_case_block
-from .pool import BackendPool
+from .pool import POOL_SCHEDULES, BackendPool
 from .prompts import ParsedReply, PromptLibrary, UnknownItem, parse_reply
 from .replay import RecordedExchange, RecordingBackend, ReplayBackend, prompt_key
 
@@ -21,6 +21,7 @@ __all__ = [
     "LLMBackend",
     "LLMRequest",
     "BackendPool",
+    "POOL_SCHEDULES",
     "Prompt",
     "Completion",
     "UsageMeter",

@@ -367,6 +367,18 @@ class LLMBackend(abc.ABC):
                 results[index] = completion
         return results
 
+    def remaining_budget(self) -> int | None:
+        """Unreserved query slots, or ``None`` when the backend is unmetered.
+
+        A point-in-time snapshot under the budget lock — schedulers (the
+        pool's round-robin member picker) use it to skip exhausted members,
+        not to reserve; reservation stays atomic inside ``_serve_batch``.
+        """
+        if self._query_budget is None:
+            return None
+        with self._budget_lock:
+            return max(0, self._query_budget - self._reserved_queries)
+
     def note_external_queries(self, queries: int) -> None:
         """Count queries a worker-process copy issued against this budget.
 

@@ -14,7 +14,24 @@ Routing rules (first match wins):
 2. a ``route`` tag that is itself a member name selects that member;
 3. the same two lookups are then tried with the prompt's ``kind`` (so a
    pool can send e.g. every ``repair`` prompt to a cheaper profile);
-4. otherwise the ``default`` member serves the request.
+4. otherwise the request is **untagged** and the pool's scheduler places it:
+
+   * ``schedule="tagged"`` (the default) sends every untagged request to
+     the ``default`` member — routing tags are the only placement signal;
+   * ``schedule="round-robin"`` load-balances untagged requests across the
+     members in declaration order, skipping members whose query budget is
+     exhausted (:meth:`~repro.llm.backend.LLMBackend.remaining_budget`);
+     when every member is exhausted the default member serves the request
+     (and raises its budget error exactly like a direct call would).
+     Placement is per *request position* in batch order under one lock, so
+     a given **batch sequence** always lands on the same members.  The
+     cursor is pool-global and advances in batch *arrival* order: with
+     concurrent untagged batches through one shared pool (an engine thread
+     fan-out), arrival order — and therefore placement — depends on thread
+     scheduling.  Callers that need byte-identical runs must either tag
+     their requests (tags never consult the scheduler) or funnel untagged
+     batches through a single submission point; the evaluation pipeline
+     tags everything, so the default experiments are unaffected.
 
 Each member keeps its own budget and usage meter (its ``complete_batch``
 serves the sub-batch routed to it, with its normal dedupe/budget/metering
@@ -25,9 +42,13 @@ semantics); the pool's own meter records every request it routes, so
 
 from __future__ import annotations
 
+import threading
 from typing import Mapping, Sequence
 
 from .backend import Completion, LLMBackend, LLMRequest, Prompt
+
+#: Valid scheduler names for untagged-request placement.
+POOL_SCHEDULES = ("tagged", "round-robin")
 
 
 class BackendPool(LLMBackend):
@@ -39,9 +60,14 @@ class BackendPool(LLMBackend):
         *,
         default: str | None = None,
         routes: Mapping[str, str] | None = None,
+        schedule: str = "tagged",
     ):
         if not members:
             raise ValueError("a BackendPool needs at least one member backend")
+        if schedule not in POOL_SCHEDULES:
+            raise ValueError(
+                f"unknown pool schedule {schedule!r}; choose from {', '.join(POOL_SCHEDULES)}"
+            )
         super().__init__(model=f"pool({','.join(members)})")
         self.members: dict[str, LLMBackend] = dict(members)
         self.routes: dict[str, str] = dict(routes or {})
@@ -51,10 +77,14 @@ class BackendPool(LLMBackend):
         self.default = default if default is not None else next(iter(self.members))
         if self.default not in self.members:
             raise ValueError(f"default member {self.default!r} is not in the pool")
+        self.schedule = schedule
+        self._member_names = tuple(self.members)
+        self._rr_cursor = 0
+        self._schedule_lock = threading.Lock()
 
     # ---------------------------------------------------------------- routing
-    def resolve_member(self, request: "LLMRequest | Prompt") -> str:
-        """The member name that will serve ``request`` (see module docstring)."""
+    def tagged_member(self, request: "LLMRequest | Prompt") -> str | None:
+        """The member a routing tag selects, or ``None`` for untagged requests."""
         request = LLMRequest.of(request)
         for tag in (request.route, request.prompt.kind):
             if tag is None:
@@ -63,7 +93,49 @@ class BackendPool(LLMBackend):
                 return self.routes[tag]
             if tag in self.members:
                 return tag
-        return self.default
+        return None
+
+    def resolve_member(self, request: "LLMRequest | Prompt") -> str:
+        """The member that serves ``request`` under tagged routing.
+
+        Untagged requests resolve to the default member here; under the
+        round-robin schedule their actual placement happens per batch
+        position inside :meth:`complete_batch` (a stateful decision this
+        pure lookup cannot make).
+        """
+        return self.tagged_member(request) or self.default
+
+    def _schedule_untagged(self, count: int) -> list[str]:
+        """Round-robin placements for ``count`` untagged requests.
+
+        One lock acquisition per batch: the cursor advances once per placed
+        request, members in declaration order, skipping members with an
+        exhausted budget.  If every member is exhausted the default member
+        takes the request — its budget error is the right failure.
+        """
+        placements: list[str] = []
+        names = self._member_names
+        with self._schedule_lock:
+            # Snapshot member budgets once, then decrement locally per
+            # placement, so a batch never schedules more requests onto a
+            # member than it has slots left (a conservative hint — the
+            # member's own atomic reservation still owns correctness).
+            remaining = {name: self.members[name].remaining_budget() for name in names}
+            for _ in range(count):
+                placed = None
+                for _attempt in range(len(names)):
+                    name = names[self._rr_cursor % len(names)]
+                    self._rr_cursor += 1
+                    slots = remaining[name]
+                    if slots is None:
+                        placed = name
+                        break
+                    if slots > 0:
+                        remaining[name] = slots - 1
+                        placed = name
+                        break
+                placements.append(placed if placed is not None else self.default)
+        return placements
 
     # ------------------------------------------------------------- completion
     def complete_batch(self, requests: "Sequence[LLMRequest | Prompt]") -> list[Completion]:
@@ -78,9 +150,18 @@ class BackendPool(LLMBackend):
         normalized = [LLMRequest.of(item) for item in requests]
         if not normalized:
             return []
+        members: list[str | None] = [self.tagged_member(request) for request in normalized]
+        untagged = [index for index, member in enumerate(members) if member is None]
+        if untagged:
+            if self.schedule == "round-robin":
+                for index, name in zip(untagged, self._schedule_untagged(len(untagged))):
+                    members[index] = name
+            else:
+                for index in untagged:
+                    members[index] = self.default
         positions_by_member: dict[str, list[int]] = {}
-        for index, request in enumerate(normalized):
-            positions_by_member.setdefault(self.resolve_member(request), []).append(index)
+        for index, member in enumerate(members):
+            positions_by_member.setdefault(member, []).append(index)
         results: list[Completion | None] = [None] * len(normalized)
         for name in self.members:
             positions = positions_by_member.get(name)
@@ -110,5 +191,15 @@ class BackendPool(LLMBackend):
         """Merged caller-side summary plus the per-member breakdown."""
         return {"merged": self.usage.summary(), "by_member": self.usage_by_member()}
 
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state.pop("_schedule_lock", None)
+        return state
 
-__all__ = ["BackendPool"]
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._schedule_lock = threading.Lock()
+
+
+__all__ = ["BackendPool", "POOL_SCHEDULES"]

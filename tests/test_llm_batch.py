@@ -203,6 +203,76 @@ def test_pool_member_budget_raises_from_sub_batch():
     assert pool.complete_batch([LLMRequest(prompt=_prompt(2), route="open")])[0].text == "y"
 
 
+# ------------------------------------------------- round-robin scheduling
+def test_round_robin_balances_untagged_requests():
+    """Untagged requests cycle members in declaration order; tags still win."""
+    pool = BackendPool(
+        {
+            "gpt-4": ReplayBackend(default="strong"),
+            "gpt-3.5": ReplayBackend(default="weak"),
+        },
+        schedule="round-robin",
+    )
+    untagged = [_prompt(index) for index in range(4)]
+    texts = [c.text for c in pool.complete_batch(untagged)]
+    assert texts == ["strong", "weak", "strong", "weak"]
+    # The cursor persists across batches...
+    assert pool.complete_batch([_prompt(9)])[0].text == "strong"
+    # ...and tagged requests never consult the scheduler.
+    assert pool.complete_batch([LLMRequest(prompt=_prompt(10), route="gpt-3.5")])[0].text == "weak"
+    assert pool.complete_batch([_prompt(11)])[0].text == "weak"
+
+
+def test_round_robin_skips_budget_exhausted_members():
+    pool = BackendPool(
+        {
+            "limited": ReplayBackend(default="limited-reply", query_budget=1),
+            "open": ReplayBackend(default="open-reply"),
+        },
+        schedule="round-robin",
+    )
+    texts = [c.text for c in pool.complete_batch([_prompt(index) for index in range(4)])]
+    # First request lands on "limited" and exhausts it; the rest fall
+    # through to the member with budget remaining.
+    assert texts == ["limited-reply", "open-reply", "open-reply", "open-reply"]
+
+
+def test_round_robin_all_exhausted_falls_back_to_default():
+    pool = BackendPool(
+        {
+            "a": ReplayBackend(default="a", query_budget=1),
+            "b": ReplayBackend(default="b", query_budget=1),
+        },
+        schedule="round-robin",
+    )
+    assert [c.text for c in pool.complete_batch([_prompt(0), _prompt(1)])] == ["a", "b"]
+    # Every member exhausted: the default member serves and raises its own
+    # budget error, exactly like a direct over-budget call.
+    with pytest.raises(LLMBudgetExceeded):
+        pool.complete_batch([_prompt(2)])
+
+
+def test_tagged_schedule_keeps_legacy_default_placement():
+    pool = _two_member_pool()
+    assert pool.schedule == "tagged"
+    texts = [c.text for c in pool.complete_batch([_prompt(index) for index in range(3)])]
+    assert texts == ["strong", "strong", "strong"]   # untagged -> default member
+    assert pool.resolve_member(_prompt(0)) == "gpt-4"
+
+
+def test_pool_rejects_unknown_schedule():
+    with pytest.raises(ValueError):
+        BackendPool({"gpt-4": ReplayBackend(default="x")}, schedule="random")
+
+
+def test_remaining_budget_snapshot():
+    backend = ReplayBackend(default="x", query_budget=2)
+    assert backend.remaining_budget() == 2
+    backend.query(_prompt(0))
+    assert backend.remaining_budget() == 1
+    assert ReplayBackend(default="y").remaining_budget() is None
+
+
 def test_pool_backed_generation_matches_direct_backend(small_kernel, extractor):
     """A routed pool member produces the suite its standalone profile does."""
     from repro.core import KernelGPT
