@@ -168,6 +168,57 @@ def test_batched_vs_per_query_rows(ctx):
     print(f"batched vs per-query: {ratio:.2f}x (byte-identical suites)")
 
 
+def test_repair_mode_rows(ctx):
+    """Batched transactional repair vs the per-query loop, equal outcomes.
+
+    The batched-repair row: the same table1 handler set generated under an
+    error-prone analyst (every handler needs repair, none is unrepairable —
+    the configuration that makes the repair phase the dominant LLM cost),
+    once with the historical per-query loop and once transactionally.  The
+    row reports total repair LLM round-trips and the queries saved per
+    repaired handler; the assertion pins the acceptance floor — at
+    ``repair_rounds=3`` the transactional protocol must cost at least 2x
+    fewer round-trips — and the valid/repaired outcome of every handler
+    must match the per-query oracle.  CI uploads these rows as an artifact.
+    """
+    from repro.llm import DegradedBackend
+
+    _warm(ctx)
+    handlers = list(ctx.selection.all_handlers)
+    rows = {}
+    for mode in ("per-query", "transactional"):
+        backend = DegradedBackend.gpt4(
+            bad_constant_rate=0.9, undefined_type_rate=0.5, unrepairable_rate=0.0
+        )
+        generator = KernelGPT(
+            ctx.kernel, backend, extractor=ctx.extractor,
+            repair_rounds=3, repair_mode=mode,
+        )
+        started = time.perf_counter()
+        run = generator.generate_for_handlers(handlers)
+        rows[mode] = (time.perf_counter() - started, run)
+    per_query_run, transactional_run = rows["per-query"][1], rows["transactional"][1]
+    assert {h: (r.valid, r.repaired) for h, r in transactional_run.results.items()} == \
+           {h: (r.valid, r.repaired) for h, r in per_query_run.results.items()}
+
+    print()
+    for mode, (seconds, run) in rows.items():
+        trips = sum(r.repair_llm_calls for r in run.results.values())
+        prompts = sum(r.repair_queries for r in run.results.values())
+        repaired = sum(1 for r in run.results.values() if r.repaired)
+        print(f"repair[{mode:13s}] {seconds:.2f}s  {prompts} repair prompts in "
+              f"{trips} LLM round-trips, {repaired} repaired handlers "
+              f"({trips / max(repaired, 1):.2f} trips/repaired handler)")
+    per_query_trips = sum(r.repair_llm_calls for r in per_query_run.results.values())
+    transactional_trips = sum(r.repair_llm_calls for r in transactional_run.results.values())
+    repaired = sum(1 for r in transactional_run.results.values() if r.repaired)
+    saved = (per_query_trips - transactional_trips) / max(repaired, 1)
+    ratio = per_query_trips / max(transactional_trips, 1)
+    print(f"batched repair: {ratio:.2f}x fewer LLM round-trips "
+          f"({saved:.2f} queries saved per repaired handler)")
+    assert ratio >= 2.0, f"transactional repair saves only {ratio:.2f}x round-trips"
+
+
 def test_pool_fanout_matches_sequential_backends(ctx):
     """One pool-routed engine batch == three sequential per-backend runs.
 

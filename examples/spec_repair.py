@@ -1,35 +1,62 @@
 """Demonstrates the validation-and-repair loop (§3.2) in isolation.
 
 A deliberately broken specification (wrong macro spelling, missing type
-definition) is validated, the error messages are shown, and the repair prompts
-fix it against the kernel source.
+definition) is validated, the error messages are shown, and the repair
+stage fixes it against the kernel source — once with the historical
+per-query loop and once with the transactional protocol, which snapshots
+the suite each round, groups the errors into independent repair items, and
+fans every repair prompt of the round out as a single batched LLM
+round-trip (see DESIGN.md "Transactional repair protocol").
 """
 
-from repro.core import KernelGPT
+from repro.core import KernelGPT, RepairTransaction
 from repro.extractor import KernelExtractor
 from repro.kernel import build_default_kernel
 from repro.llm import DegradedBackend
 from repro.syzlang import validate_suite
 
 
+def build_generator(kernel, extractor, repair_mode: str) -> KernelGPT:
+    # A deliberately error-prone analyst: more misspelled constants and
+    # forgotten type definitions, so repair has plenty to do.
+    backend = DegradedBackend.gpt4(
+        bad_constant_rate=0.9, undefined_type_rate=0.5, unrepairable_rate=0.0
+    )
+    return KernelGPT(kernel, backend, extractor=extractor, repair_mode=repair_mode)
+
+
 def main() -> None:
     kernel = build_default_kernel("small")
     extractor = KernelExtractor(kernel)
 
-    # A deliberately error-prone analyst: more misspelled constants and
-    # forgotten type definitions, so repair has plenty to do.
-    backend = DegradedBackend.gpt4(bad_constant_rate=0.9, undefined_type_rate=0.5, unrepairable_rate=0.0)
-    generator = KernelGPT(kernel, backend, extractor=extractor)
-
-    result = generator.generate_for_handler("snapshot_fops")
-    print(f"initially valid: {result.initially_valid}")
-    print(f"repaired:        {result.repaired} (rounds used: {result.repair_rounds_used})")
-    print(f"finally valid:   {result.valid}\n")
-
-    report = validate_suite(result.suite, kernel.constants)
-    print("final validation:", "clean" if report.is_valid else report.render())
+    # Peek inside one round: generate without repair, then snapshot the
+    # broken suite into a RepairTransaction to see its item grouping.
+    broken = KernelGPT(
+        kernel,
+        DegradedBackend.gpt4(bad_constant_rate=0.9, undefined_type_rate=0.5),
+        extractor=extractor,
+        repair=False,
+    ).generate_for_handler("snapshot_fops")
+    report = validate_suite(broken.suite, kernel.constants)
+    transaction = RepairTransaction(broken.suite, report)
+    print(f"round 1 would repair {len(transaction.items)} item(s) in one LLM batch:")
+    for item in transaction.items:
+        print(f"  [{item.index}] {item.subject} [{item.code.value}] ({len(item.issues)} issue(s))")
     print()
-    print(result.suite_text()[:1500])
+
+    for mode in ("per-query", "transactional"):
+        result = build_generator(kernel, extractor, mode).generate_for_handler("snapshot_fops")
+        print(f"repair mode:     {mode}")
+        print(f"initially valid: {result.initially_valid}")
+        print(f"repaired:        {result.repaired} (rounds used: {result.repair_rounds_used})")
+        print(f"finally valid:   {result.valid}")
+        print(f"LLM round-trips: {result.repair_llm_calls} for {result.repair_queries} repair "
+              f"prompt(s), {result.repair_conflicts} conflict(s) re-queued")
+        report = validate_suite(result.suite, kernel.constants)
+        print("final validation:", "clean" if report.is_valid else report.render())
+        print()
+
+    print(result.suite_text()[:1200])
 
 
 if __name__ == "__main__":

@@ -3,6 +3,13 @@
 from .filtering import TargetSelection, described_interfaces, scan_missing_specs, select_target_handlers
 from .generator import DiscoveredOp, GenerationResult, GenerationRun, KernelGPT
 from .iterative import DEFAULT_MAX_ITERATIONS, IterationTrace, IterativeAnalyzer
+from .repair import (
+    REPAIR_MODES,
+    REPAIR_ROUTE_TAG,
+    RepairCommit,
+    RepairItem,
+    RepairTransaction,
+)
 from .session import GenerationSession, run_session
 from .tasks import GenerationOutcome, GenerationTask, merge_outcome_side_effects, run_generation_task
 
@@ -12,6 +19,11 @@ __all__ = [
     "GenerationRun",
     "GenerationSession",
     "run_session",
+    "REPAIR_MODES",
+    "REPAIR_ROUTE_TAG",
+    "RepairTransaction",
+    "RepairItem",
+    "RepairCommit",
     "GenerationTask",
     "GenerationOutcome",
     "run_generation_task",

@@ -54,6 +54,7 @@ from ..syzlang import (
     serialize_suite,
 )
 from .iterative import DEFAULT_MAX_ITERATIONS
+from .repair import REPAIR_MODES
 from .session import GenerationSession, run_session
 from .tasks import GenerationTask, merge_outcome_side_effects, run_generation_task
 
@@ -89,6 +90,17 @@ class GenerationResult:
     initially_valid: bool = False
     repaired: bool = False
     repair_rounds_used: int = 0
+    #: Which repair protocol produced this result ("per-query"/"transactional").
+    repair_mode: str = "per-query"
+    #: Repair prompts issued (both modes count one per prompt).
+    repair_queries: int = 0
+    #: Repair LLM round-trips: per-query mode pays one per prompt, the
+    #: transactional mode one ``complete_batch`` per round.
+    repair_llm_calls: int = 0
+    #: Transactional only: items skipped by the conflict rule, and the
+    #: issues those losers re-queued onto later rounds.
+    repair_conflicts: int = 0
+    repair_requeued: int = 0
     queries: int = 0
     input_tokens: int = 0
     output_tokens: int = 0
@@ -164,7 +176,13 @@ class KernelGPT:
         engine: ExecutionEngine | None = None,
         batch_queries: bool = True,
         backend_route: str | None = None,
+        repair_mode: str = "per-query",
+        repair_route: str | None = None,
     ):
+        if repair_mode not in REPAIR_MODES:
+            raise ValueError(
+                f"unknown repair mode {repair_mode!r}; choose from {', '.join(REPAIR_MODES)}"
+            )
         self.kernel = kernel
         self.backend = backend or OracleBackend()
         self.extractor = extractor or KernelExtractor(kernel)
@@ -181,6 +199,16 @@ class KernelGPT:
         #: a pool-backed generator selects its member capability profile
         #: (see :class:`~repro.llm.BackendPool`).  None for plain backends.
         self.backend_route = backend_route
+        #: Default repair protocol for this generator's sessions: the
+        #: historical ``"per-query"`` loop or the snapshot-batched
+        #: ``"transactional"`` rounds (repro.core.repair).  Task payloads
+        #: may override per session.
+        self.repair_mode = repair_mode
+        #: Routing tag for transactional repair requests.  None falls back
+        #: to ``backend_route`` and then to the generic ``"repair"`` tag,
+        #: which is what a kind-route table (``--route repair=gpt-3.5``)
+        #: matches on.
+        self.repair_route = repair_route
         self._constants = self.extractor.constants()
         self._validator = SpecValidator(self._constants, warn_unused=False)
 
@@ -209,13 +237,23 @@ class KernelGPT:
             return self.engine.cached_extract(self.extractor, identifier)
         return self.extractor.extract_code(identifier)
 
-    def session(self, handler_name: str, *, engine: ExecutionEngine | None = None) -> GenerationSession:
+    def session(
+        self,
+        handler_name: str,
+        *,
+        engine: ExecutionEngine | None = None,
+        repair_mode: str | None = None,
+    ) -> GenerationSession:
         """A fresh re-entrant per-handler session (see :mod:`repro.core.session`)."""
-        return GenerationSession(self, handler_name, engine=engine)
+        return GenerationSession(self, handler_name, engine=engine, repair_mode=repair_mode)
 
     # ------------------------------------------------------------------ API
     def generate_for_handler(
-        self, handler_name: str, *, engine: ExecutionEngine | None = None
+        self,
+        handler_name: str,
+        *,
+        engine: ExecutionEngine | None = None,
+        repair_mode: str | None = None,
     ) -> GenerationResult:
         """Generate, validate and (if needed) repair the spec for one handler.
 
@@ -223,14 +261,18 @@ class KernelGPT:
         session is memoized: regenerating a handler this generator already
         produced (the table 5/6 and ablation paths after a full generation
         run) returns the cached result, and concurrent requests for the same
-        handler collapse into one session.
+        handler collapse into one session.  ``repair_mode`` overrides the
+        generator's repair protocol for this handler only; it is part of
+        the memo key, so per-query and transactional results of one handler
+        never serve each other.
         """
         engine = engine or self.engine
+        mode = repair_mode or self.repair_mode
         if engine is None:
-            return run_session(self, handler_name)
-        key = (engine.token(self), "iterative", handler_name)
+            return run_session(self, handler_name, repair_mode=mode)
+        key = (engine.token(self), "iterative", mode, handler_name)
         return engine.result_cache.get_or_compute(
-            key, lambda: run_session(self, handler_name, engine=engine)
+            key, lambda: run_session(self, handler_name, engine=engine, repair_mode=mode)
         )
 
     def generate_for_handlers(
@@ -294,7 +336,8 @@ class KernelGPT:
         # tuple) and workers resolve the sentinel against their copy.
         specs = [
             TaskSpec(
-                key=f"{task.handler_name}@{task.mode}",
+                key=f"{task.handler_name}@{task.mode}"
+                + (f"@{task.repair_mode}" if task.repair_mode else ""),
                 fn=run_generation_task,
                 args=(POOL_PAYLOAD, task, engine if shared else None),
                 kwargs=None if shared else {"collect_side_effects": True},
@@ -310,20 +353,31 @@ class KernelGPT:
         return [outcome.result for outcome in outcomes]
 
     def generate_all_in_one(
-        self, handler_name: str, *, engine: ExecutionEngine | None = None
+        self,
+        handler_name: str,
+        *,
+        engine: ExecutionEngine | None = None,
+        repair_mode: str | None = None,
     ) -> GenerationResult:
         """Single-prompt generation used by the §5.2.3 ablation."""
         engine = engine or self.engine
+        mode = repair_mode or self.repair_mode
         if engine is None:
-            return self._all_in_one(handler_name, engine)
-        key = (engine.token(self), "all-in-one", handler_name)
+            return self._all_in_one(handler_name, engine, repair_mode=mode)
+        key = (engine.token(self), "all-in-one", mode, handler_name)
         return engine.result_cache.get_or_compute(
-            key, lambda: self._all_in_one(handler_name, engine)
+            key, lambda: self._all_in_one(handler_name, engine, repair_mode=mode)
         )
 
-    def _all_in_one(self, handler_name: str, engine: ExecutionEngine | None) -> GenerationResult:
+    def _all_in_one(
+        self,
+        handler_name: str,
+        engine: ExecutionEngine | None,
+        *,
+        repair_mode: str | None = None,
+    ) -> GenerationResult:
         info = self.extractor.handler(handler_name)
-        session = self.session(handler_name, engine=engine)
+        session = self.session(handler_name, engine=engine, repair_mode=repair_mode)
         name = self._readable_name(info)
         registration = self._registration_text(info)
         code_parts = [registration]
@@ -546,11 +600,25 @@ class KernelGPT:
         return subject
 
     @staticmethod
-    def _apply_repair(suite: SpecSuite, repaired_text: str, *, original_subject: str = "") -> bool:
-        try:
-            parsed = parse_suite(repaired_text)
-        except SyzlangParseError:
-            return False
+    def _apply_repair(
+        suite: SpecSuite,
+        repaired_text: str,
+        *,
+        original_subject: str = "",
+        parsed: SpecSuite | None = None,
+    ) -> bool:
+        """Apply one repaired fragment; True when the suite changed.
+
+        ``parsed`` lets callers that already parsed ``repaired_text`` (the
+        transactional commit, which parses fragments for conflict
+        detection) skip the second parse; the text and the parsed suite
+        must describe the same fragment.
+        """
+        if parsed is None:
+            try:
+                parsed = parse_suite(repaired_text)
+            except SyzlangParseError:
+                return False
         # The repaired fragment has no resource declarations of its own, so
         # bare resource uses parse as named-type references; resolve them
         # against the destination suite's table so the merged AST is
@@ -574,6 +642,9 @@ class KernelGPT:
             changed = True
         for resource in parsed.resources.values():
             suite.add_resource(resource, replace_existing=True)
+            changed = True
+        for flags in parsed.flags.values():
+            suite.add_flags(flags, replace_existing=True)
             changed = True
         return changed
 

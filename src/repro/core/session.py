@@ -53,10 +53,33 @@ class GenerationSession:
     byte-identical to per-query submission by construction.
     """
 
-    def __init__(self, gpt, handler_name: str, *, engine=None, batched: bool | None = None):
+    def __init__(
+        self,
+        gpt,
+        handler_name: str,
+        *,
+        engine=None,
+        batched: bool | None = None,
+        repair_mode: str | None = None,
+    ):
         self.gpt = gpt
         self.engine = engine if engine is not None else gpt.engine
         self.batched = batched if batched is not None else getattr(gpt, "batch_queries", True)
+        #: How validation errors are repaired: ``"per-query"`` (one LLM
+        #: round-trip per broken declaration) or ``"transactional"`` (one
+        #: snapshot-batched round-trip per round; see repro.core.repair).
+        #: Validated here — the choke point every override path (generator
+        #: default, task payload, explicit session argument) flows through
+        #: — so a typo'd mode fails loudly instead of silently running the
+        #: per-query fallback under a bogus label.
+        from .repair import REPAIR_MODES
+
+        self.repair_mode = repair_mode or getattr(gpt, "repair_mode", "per-query")
+        if self.repair_mode not in REPAIR_MODES:
+            raise ValueError(
+                f"unknown repair mode {self.repair_mode!r}; "
+                f"choose from {', '.join(REPAIR_MODES)}"
+            )
         self.handler_name = handler_name
         #: Usage issued by this session (the per-result attribution the
         #: old ``usage.queries`` before/after delta provided, made local).
@@ -317,14 +340,34 @@ class GenerationSession:
 
     # --------------------------------------------------- validation + repair
     def validate_and_repair(self, info: HandlerInfo, result) -> None:
+        """Validate the assembled suite and drive the session's repair mode.
+
+        ``repair_mode="per-query"`` is the historical loop — one LLM
+        round-trip per broken declaration per round, each repair applied
+        before the next prompt is built — retained as the equivalence
+        oracle.  ``"transactional"`` runs each round as one
+        :class:`~repro.core.repair.RepairTransaction`: every prompt
+        describes the round-start snapshot, the whole round is one request
+        batch, and the fragments commit atomically under determinism
+        rule 7.  Both modes converge to the same valid-or-exhausted outcome
+        on the oracle corpus; the transactional mode issues one LLM
+        round-trip per round instead of one per declaration.
+        """
         gpt = self.gpt
         report = gpt._validator.validate(result.suite)
         result.initially_valid = report.is_valid
         result.validation_report = report
         result.valid = report.is_valid
+        result.repair_mode = self.repair_mode
         if report.is_valid or not gpt.repair_enabled:
             return
+        if self.repair_mode == "transactional":
+            self._repair_transactional(info, result, report)
+        else:
+            self._repair_per_query(info, result, report)
 
+    def _repair_per_query(self, info: HandlerInfo, result, report) -> None:
+        gpt = self.gpt
         context = gpt._repair_context(info)
         for round_index in range(1, gpt.repair_rounds + 1):
             result.repair_rounds_used = round_index
@@ -336,6 +379,8 @@ class GenerationSession:
                     info.handler_name, description=description, errors=errors, code=context
                 )
                 reply = self.parse_query(prompt)
+                result.repair_queries += 1
+                result.repair_llm_calls += 1
                 if not reply.repaired_text:
                     continue
                 if gpt._apply_repair(result.suite, reply.repaired_text, original_subject=subject):
@@ -350,16 +395,64 @@ class GenerationSession:
                 break
         result.valid = report.is_valid
 
+    def _repair_transactional(self, info: HandlerInfo, result, report) -> None:
+        """One :class:`RepairTransaction` per round, one LLM batch per round."""
+        from .repair import REPAIR_ROUTE_TAG, RepairTransaction
 
-def run_session(gpt, handler_name: str, *, engine=None):
+        gpt = self.gpt
+        context = gpt._repair_context(info)
+        route = gpt.repair_route or gpt.backend_route or REPAIR_ROUTE_TAG
+        for round_index in range(1, gpt.repair_rounds + 1):
+            result.repair_rounds_used = round_index
+            transaction = RepairTransaction(result.suite, report)
+            if not transaction.items:
+                break
+            requests = [
+                LLMRequest(
+                    prompt=gpt.prompts.repair_item_prompt(
+                        info.handler_name,
+                        subject=item.subject,
+                        error_code=item.code.value,
+                        description=gpt._describe_subject(transaction.snapshot, item.subject),
+                        errors=item.render_errors(),
+                        code=context,
+                    ),
+                    route=route,
+                )
+                for item in transaction.items
+            ]
+            replies = self.parse_query_batch(requests)
+            result.repair_queries += len(requests)
+            result.repair_llm_calls += 1
+            commit = transaction.commit(
+                [reply.repaired_text for reply in replies],
+                result.suite,
+                apply=gpt._apply_repair,
+            )
+            result.repair_conflicts += len(commit.conflicts)
+            result.repair_requeued += len(commit.requeued)
+            report = gpt._validator.validate(result.suite)
+            result.validation_report = report
+            if report.is_valid:
+                result.valid = True
+                result.repaired = True
+                return
+            if not commit.changed:
+                break
+        result.valid = report.is_valid
+
+
+def run_session(gpt, handler_name: str, *, engine=None, repair_mode: str | None = None):
     """Run one handler's full generation session and return its result.
 
     The module-level session entry point: process-pool workers (and the
     in-process memoized path) reach sessions through this named function
     instead of a bound ``KernelGPT`` method, which is what keeps generation
-    task specs picklable end to end.
+    task specs picklable end to end.  ``repair_mode`` overrides the
+    generator's repair mode for this session only (a task-level knob, so a
+    shared generator is never mutated by a scheduled task).
     """
-    return GenerationSession(gpt, handler_name, engine=engine).run()
+    return GenerationSession(gpt, handler_name, engine=engine, repair_mode=repair_mode).run()
 
 
 __all__ = ["GenerationSession", "run_session"]

@@ -41,10 +41,21 @@ if TYPE_CHECKING:
 
 @dataclass(frozen=True)
 class GenerationTask:
-    """One handler-generation unit of work, as plain picklable data."""
+    """One handler-generation unit of work, as plain picklable data.
+
+    ``repair_mode`` optionally overrides the generator's repair protocol
+    (``"per-query"`` / ``"transactional"``) for this task only.  The
+    override travels in the task payload and is resolved per *session*,
+    never by mutating the (possibly shared) generator — so one generator
+    can serve both repair modes concurrently on any executor.  Repair
+    transactions themselves (:class:`repro.core.repair.RepairTransaction`)
+    are plain data and pickle across process shards like every other part
+    of the payload.
+    """
 
     handler_name: str
     mode: str = "iterative"  # or "all-in-one" (the §5.2.3 ablation path)
+    repair_mode: str | None = None
 
 
 @dataclass
@@ -89,9 +100,13 @@ def run_generation_task(
     outcome = GenerationOutcome(handler_name=task.handler_name)
     try:
         if task.mode == "all-in-one":
-            outcome.result = generator.generate_all_in_one(task.handler_name, engine=engine)
+            outcome.result = generator.generate_all_in_one(
+                task.handler_name, engine=engine, repair_mode=task.repair_mode
+            )
         else:
-            outcome.result = generator.generate_for_handler(task.handler_name, engine=engine)
+            outcome.result = generator.generate_for_handler(
+                task.handler_name, engine=engine, repair_mode=task.repair_mode
+            )
     except (ExtractionError, GenerationError):
         outcome.result = None
 

@@ -18,16 +18,9 @@ from ..core.tasks import GenerationTask, merge_outcome_side_effects, run_generat
 from ..engine import POOL_PAYLOAD, TaskSpec
 from ..fuzzer import average_coverage, run_repeated_campaigns
 from ..kernel import TABLE5_DRIVER_NAMES
-from ..llm import BackendPool, DegradedBackend
+from ..llm import PROFILE_FACTORIES, BackendPool, backend_for_profile
 from .context import EvaluationContext
 from .reporting import TableResult
-
-#: The capability profiles the ablation can route to, by CLI/config label.
-PROFILE_FACTORIES = {
-    "gpt-4": DegradedBackend.gpt4,
-    "gpt-4o": DegradedBackend.gpt4o,
-    "gpt-3.5": DegradedBackend.gpt35,
-}
 
 #: The paper's §5.2.3 line-up, in table order.
 DEFAULT_PROFILES = ("gpt-4", "gpt-4o", "gpt-3.5")
@@ -40,14 +33,7 @@ def build_profile_pool(labels: tuple[str, ...], *, schedule: str = "tagged") -> 
     itself tags every request with its profile label, so the scheduler only
     matters for callers that reuse the pool without routing tags).
     """
-    members = {}
-    for label in labels:
-        factory = PROFILE_FACTORIES.get(label)
-        if factory is None:
-            raise ValueError(
-                f"unknown capability profile {label!r}; choose from {', '.join(PROFILE_FACTORIES)}"
-            )
-        members[label] = factory()
+    members = {label: backend_for_profile(label) for label in labels}
     return BackendPool(members, schedule=schedule)
 
 

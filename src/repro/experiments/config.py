@@ -31,6 +31,17 @@ class ExperimentConfig:
     #: (default member only) or "round-robin" (budget-aware load balancing
     #: across members); set from the runner's --pool-schedule flag.
     pool_schedule: str = "tagged"
+    #: Repair protocol for the evaluation's KernelGPT: "per-query" (the
+    #: historical loop, the equivalence oracle) or "transactional"
+    #: (snapshot-batched rounds; see repro.core.repair); set from the
+    #: runner's --repair-mode flag.
+    repair_mode: str = "per-query"
+    #: Kind-route table, e.g. (("repair", "gpt-3.5"),): prompt kinds routed
+    #: to capability-profile members of a BackendPool wrapped around the
+    #: default analyst.  None runs the plain single-backend analyst.  Set
+    #: from the runner's repeatable --route KIND=PROFILE flag; stored as a
+    #: sorted tuple of pairs so configs stay hashable and comparable.
+    route_table: tuple[tuple[str, str], ...] | None = None
     seed: int = 2025
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":

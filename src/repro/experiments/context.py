@@ -25,7 +25,7 @@ from ..core import GenerationRun, KernelGPT, TargetSelection, select_target_hand
 from ..engine import ExecutionEngine
 from ..extractor import KernelExtractor
 from ..kernel import KernelCodebase, build_default_kernel
-from ..llm import OracleBackend
+from ..llm import BackendPool, LLMBackend, OracleBackend, backend_for_profile
 from ..syzlang import SpecCorpus
 from .config import ExperimentConfig, quick
 
@@ -89,12 +89,41 @@ class EvaluationContext:
         )
 
     # ------------------------------------------------------------ generators
+    def build_analysis_backend(self) -> LLMBackend:
+        """The evaluation's analyst: plain oracle, or a kind-routed pool.
+
+        With ``config.route_table`` set (``--route repair=gpt-3.5``) the
+        analyst becomes a :class:`~repro.llm.BackendPool` whose default
+        member is the paper's GPT-4 oracle plus one member per routed
+        capability profile; the pool's kind lookup then steers every prompt
+        of a routed kind — the repair stage, typically — to its profile,
+        whatever repair mode is active.  Without a route table the plain
+        single-backend oracle is used, exactly as before.
+        """
+        route_table = dict(self.config.route_table or ())
+        if not route_table:
+            return OracleBackend()
+        members: dict[str, LLMBackend] = {"gpt-4": OracleBackend()}
+        for label in route_table.values():
+            if label not in members:
+                members[label] = backend_for_profile(label)
+        return BackendPool(
+            members,
+            default="gpt-4",
+            routes=route_table,
+            schedule=self.config.pool_schedule,
+        )
+
     @property
     def kernelgpt(self) -> KernelGPT:
         return self._build_once(
             "_kernelgpt",
             lambda: KernelGPT(
-                self.kernel, OracleBackend(), extractor=self.extractor, engine=self.engine
+                self.kernel,
+                self.build_analysis_backend(),
+                extractor=self.extractor,
+                engine=self.engine,
+                repair_mode=self.config.repair_mode,
             ),
         )
 
@@ -144,13 +173,16 @@ def shared_context(
     preset: str = "quick",
     llm_backends: tuple[str, ...] | None = None,
     pool_schedule: str | None = None,
+    route_table: tuple[tuple[str, str], ...] | None = None,
+    repair_mode: str | None = None,
 ) -> EvaluationContext:
     """Process-wide cached context (benchmark modules, process-pool workers).
 
-    ``llm_backends`` and ``pool_schedule`` carry the runner's ``--backends``
-    / ``--pool-schedule`` overrides into worker processes, which rebuild
-    their context from these plain strings (contexts hold locks and engines
-    that cannot cross process boundaries).
+    ``llm_backends``, ``pool_schedule``, ``route_table`` and ``repair_mode``
+    carry the runner's ``--backends`` / ``--pool-schedule`` / ``--route`` /
+    ``--repair-mode`` overrides into worker processes, which rebuild their
+    context from these plain strings (contexts hold locks and engines that
+    cannot cross process boundaries).
     """
     from . import config as config_module
 
@@ -159,6 +191,10 @@ def shared_context(
         configuration = configuration.with_overrides(llm_backends=tuple(llm_backends))
     if pool_schedule:
         configuration = configuration.with_overrides(pool_schedule=pool_schedule)
+    if route_table:
+        configuration = configuration.with_overrides(route_table=tuple(route_table))
+    if repair_mode:
+        configuration = configuration.with_overrides(repair_mode=repair_mode)
     return EvaluationContext(configuration)
 
 

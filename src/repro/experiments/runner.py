@@ -66,6 +66,8 @@ def run_experiment_for_preset(
     preset: str,
     backends: tuple[str, ...] | None = None,
     pool_schedule: str | None = None,
+    route_table: tuple[tuple[str, str], ...] | None = None,
+    repair_mode: str | None = None,
 ) -> TableResult:
     """Run one experiment against a worker-local context for ``preset``.
 
@@ -75,18 +77,24 @@ def run_experiment_for_preset(
     once — the per-process analogue of the thread path's shared context.
     Experiments are deterministic functions of the configuration, so the
     rendered result is byte-identical to the shared-memory path.
-    ``backends`` forwards the ``--backends`` profile line-up and
-    ``pool_schedule`` the ``--pool-schedule`` placement policy.
+    ``backends`` forwards the ``--backends`` profile line-up,
+    ``pool_schedule`` the ``--pool-schedule`` placement policy,
+    ``route_table`` the ``--route`` kind-route table and ``repair_mode``
+    the ``--repair-mode`` protocol choice.
     """
     from .context import shared_context
 
-    return run_experiment(name, shared_context(preset, backends, pool_schedule))
+    return run_experiment(
+        name, shared_context(preset, backends, pool_schedule, route_table, repair_mode)
+    )
 
 
 def run_table1_for_preset(
     preset: str,
     backends: tuple[str, ...] | None = None,
     pool_schedule: str | None = None,
+    route_table: tuple[tuple[str, str], ...] | None = None,
+    repair_mode: str | None = None,
 ) -> "tuple[TableResult, str]":
     """table1 plus its §5.1.3 correctness audit as one process-pool payload.
 
@@ -101,8 +109,34 @@ def run_table1_for_preset(
     """
     from .context import shared_context
 
-    ctx = shared_context(preset, backends, pool_schedule)
+    ctx = shared_context(preset, backends, pool_schedule, route_table, repair_mode)
     return run_table1(ctx), run_correctness_audit(ctx).render()
+
+
+def parse_route_table(entries: list[str]) -> tuple[tuple[str, str], ...]:
+    """Parse repeated ``--route KIND=PROFILE`` flags into a route table.
+
+    Entries are sorted by kind so that flag order never changes the
+    configuration (route tables are lookup maps, not priority lists); a
+    kind given twice is an error rather than a silent last-wins.
+    """
+    from ..llm import PROFILE_FACTORIES
+
+    table: dict[str, str] = {}
+    for entry in entries:
+        kind, separator, profile = entry.partition("=")
+        kind, profile = kind.strip(), profile.strip()
+        if not separator or not kind or not profile:
+            raise SystemExit(f"--route expects KIND=PROFILE, got {entry!r}")
+        if profile not in PROFILE_FACTORIES:
+            raise SystemExit(
+                f"--route {entry!r}: unknown profile {profile!r}; "
+                f"choose from {', '.join(PROFILE_FACTORIES)}"
+            )
+        if kind in table:
+            raise SystemExit(f"--route given twice for kind {kind!r}")
+        table[kind] = profile
+    return tuple(sorted(table.items()))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -123,17 +157,31 @@ def main(argv: list[str] | None = None) -> int:
                         help="BackendPool placement for untagged LLM requests: tagged "
                              "(default member only) or round-robin (budget-aware "
                              "load balancing across pool members)")
+    parser.add_argument("--repair-mode", choices=["per-query", "transactional"], default=None,
+                        help="validation-repair protocol: per-query (one LLM round-trip "
+                             "per broken declaration, the historical loop) or "
+                             "transactional (snapshot-batched repair rounds, one "
+                             "round-trip per round)")
+    parser.add_argument("--route", action="append", default=None, metavar="KIND=PROFILE",
+                        help="kind-route table entry, e.g. --route repair=gpt-3.5: wraps "
+                             "the analyst in a BackendPool and sends every prompt of "
+                             "KIND to the named capability profile (repeatable)")
     parser.add_argument("--profile", action="store_true",
                         help="print per-stage timings and cache statistics at the end")
     args = parser.parse_args(argv)
 
     backends = tuple(part.strip() for part in args.backends.split(",") if part.strip()) \
         if args.backends else None
+    route_table = parse_route_table(args.route) if args.route else None
     config = paper() if args.preset == "paper" else quick()
     if backends:
         config = config.with_overrides(llm_backends=backends)
     if args.pool_schedule:
         config = config.with_overrides(pool_schedule=args.pool_schedule)
+    if args.repair_mode:
+        config = config.with_overrides(repair_mode=args.repair_mode)
+    if route_table:
+        config = config.with_overrides(route_table=route_table)
     engine = ExecutionEngine(jobs=args.jobs, kind=args.executor)
     ctx = EvaluationContext(config, engine=engine)
     wanted = args.experiment or ["all"]
@@ -179,15 +227,16 @@ def main(argv: list[str] | None = None) -> int:
         if engine.shares_memory:
             tasks = [TaskSpec(key=name, fn=run_experiment, args=(name, ctx)) for name in names]
         else:
+            overrides = (backends, args.pool_schedule, route_table, args.repair_mode)
             tasks = [
                 TaskSpec(
                     key=name, fn=run_table1_for_preset,
-                    args=(args.preset, backends, args.pool_schedule),
+                    args=(args.preset,) + overrides,
                 )
                 if name == "table1"
                 else TaskSpec(
                     key=name, fn=run_experiment_for_preset,
-                    args=(name, args.preset, backends, args.pool_schedule),
+                    args=(name, args.preset) + overrides,
                 )
                 for name in names
             ]

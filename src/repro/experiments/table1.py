@@ -66,6 +66,18 @@ def run_table1(ctx: EvaluationContext) -> TableResult:
         f"{usage['input_tokens']} input tokens, "
         f"{usage['output_tokens']} output tokens, ~${usage['estimated_cost_usd']}"
     )
+    # Repair round-trip accounting: how many LLM round-trips the repair
+    # phase cost under the active protocol (per-query pays one per prompt,
+    # transactional one batch per round — the CI repair-mode smoke job
+    # uploads this line to keep the savings visible in review).
+    results = list(generation.results.values())
+    repaired_count = sum(1 for result in results if result.repaired)
+    table.add_note(
+        f"repair protocol ({ctx.config.repair_mode}): "
+        f"{sum(result.repair_queries for result in results)} repair prompts in "
+        f"{sum(result.repair_llm_calls for result in results)} LLM round-trips "
+        f"across {repaired_count} repaired handlers"
+    )
     return table
 
 

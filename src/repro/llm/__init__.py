@@ -11,7 +11,7 @@ from .backend import (
     Prompt,
     UsageMeter,
 )
-from .degraded import DegradedBackend
+from .degraded import PROFILE_FACTORIES, DegradedBackend, backend_for_profile
 from .oracle import OracleBackend, slice_case_block
 from .pool import POOL_SCHEDULES, BackendPool
 from .prompts import ParsedReply, PromptLibrary, UnknownItem, parse_reply
@@ -31,6 +31,8 @@ __all__ = [
     "GPT35_PROFILE",
     "OracleBackend",
     "DegradedBackend",
+    "PROFILE_FACTORIES",
+    "backend_for_profile",
     "ReplayBackend",
     "RecordingBackend",
     "RecordedExchange",

@@ -169,6 +169,17 @@ class UsageMeter:
             "estimated_cost_usd": round(self.estimated_cost_usd(), 2),
         }
 
+    def kind_summary(self) -> dict:
+        """Per-prompt-kind usage breakdown, in first-recorded order.
+
+        The attribution behind kind-routed pools: with ``--route
+        repair=gpt-3.5`` the cheap member's breakdown shows exactly which
+        stage kinds (``repair``) landed on it, and the expensive member's
+        shows what stayed.
+        """
+        with self._lock:
+            return {kind: dict(stats) for kind, stats in self.by_kind.items()}
+
 
 @dataclass(frozen=True)
 class CapabilityProfile:

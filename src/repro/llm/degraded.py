@@ -38,4 +38,23 @@ class DegradedBackend(OracleBackend):
         return cls(profile)
 
 
-__all__ = ["DegradedBackend"]
+#: Capability-profile backends by CLI/config label — the registry behind
+#: ``--backends`` and the ``--route kind=profile`` tables.
+PROFILE_FACTORIES = {
+    "gpt-4": DegradedBackend.gpt4,
+    "gpt-4o": DegradedBackend.gpt4o,
+    "gpt-3.5": DegradedBackend.gpt35,
+}
+
+
+def backend_for_profile(label: str) -> DegradedBackend:
+    """Build the backend for a capability-profile label, or raise ValueError."""
+    factory = PROFILE_FACTORIES.get(label)
+    if factory is None:
+        raise ValueError(
+            f"unknown capability profile {label!r}; choose from {', '.join(PROFILE_FACTORIES)}"
+        )
+    return factory()
+
+
+__all__ = ["DegradedBackend", "PROFILE_FACTORIES", "backend_for_profile"]

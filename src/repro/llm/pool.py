@@ -184,8 +184,16 @@ class BackendPool(LLMBackend):
 
     # -------------------------------------------------------------- reporting
     def usage_by_member(self) -> dict[str, dict]:
-        """Per-member usage summaries keyed by member name."""
-        return {name: backend.usage.summary() for name, backend in self.members.items()}
+        """Per-member usage summaries keyed by member name.
+
+        Each summary carries a ``by_kind`` breakdown, so kind-routed pools
+        (``routes={"repair": "gpt-3.5"}``) show which prompt kinds each
+        capability profile actually served.
+        """
+        return {
+            name: {**backend.usage.summary(), "by_kind": backend.usage.kind_summary()}
+            for name, backend in self.members.items()
+        }
 
     def usage_summary(self) -> dict:
         """Merged caller-side summary plus the per-member breakdown."""

@@ -244,6 +244,47 @@ class PromptLibrary:
             ),
         )
 
+    def repair_item_prompt(
+        self,
+        handler: str,
+        *,
+        subject: str,
+        error_code: str,
+        description: str,
+        errors: str,
+        code: str,
+    ) -> Prompt:
+        """Prompt for one transactional repair item (§3.2, batched protocol).
+
+        One item is all of one declaration's validation issues of one error
+        class (see :class:`repro.core.repair.RepairItem`); the prompt lists
+        every one of them so a single reply can fix the whole class at
+        once.  The returned prompt keeps ``kind="repair"`` and
+        ``subject=handler`` — the same attribution the per-query
+        :meth:`repair_prompt` uses — so backends whose behaviour keys off
+        the prompt subject (the oracle's per-handler repair-capability
+        draw) treat both repair modes identically; the repaired declaration
+        itself is named in the Repair Target section.
+        """
+        instruction = (
+            "The following Syzkaller description failed validation. Every error below is "
+            f"of the class [{error_code}] and concerns the declaration {subject!r}. "
+            "Use the error messages and the kernel source code to produce a corrected "
+            "description fixing all of them."
+        )
+        return Prompt(
+            kind="repair",
+            subject=handler,
+            text=self._sections(
+                ("Instruction", instruction),
+                ("Repair Target", f"- SUBJECT: {subject} | CLASS: {error_code}"),
+                ("Invalid Description", description),
+                ("Error Messages", errors),
+                ("Relevant Source Code", self._clip(code)),
+                ("Few-shot", REPAIR_FEWSHOT if self._fewshot else ""),
+            ),
+        )
+
     def all_in_one_prompt(self, subject: str, *, kind: str, registration: str, code: str) -> Prompt:
         """Single-shot prompt used by the §5.2.3 iterative-vs-all-in-one ablation."""
         instruction = (

@@ -96,7 +96,18 @@ class ValidationIssue:
 
 @dataclass
 class ValidationReport:
-    """The outcome of validating one suite."""
+    """The outcome of validating one suite.
+
+    **Ordering is part of the public API.**  ``issues`` are appended in
+    *suite declaration order*: the validator walks syscalls, then structs,
+    then unions, then resources, each in the suite's insertion order, so a
+    given suite always yields the same issue sequence.  Everything derived
+    here (:meth:`issues_for`, :meth:`subjects_with_errors`) preserves that
+    order and never round-trips through a ``set`` or ``dict`` whose
+    iteration could depend on ``PYTHONHASHSEED`` — the repair stage's
+    deterministic item ordering (determinism rule 7, see
+    :mod:`repro.core.repair`) is built directly on this guarantee.
+    """
 
     suite_name: str
     issues: list[ValidationIssue] = field(default_factory=list)
@@ -115,11 +126,23 @@ class ValidationReport:
         return not self.errors
 
     def issues_for(self, subject: str) -> list[ValidationIssue]:
-        """Return the issues attached to a particular syscall or type name."""
+        """The issues attached to one syscall or type name, in report order."""
         return [issue for issue in self.issues if issue.subject == subject]
 
     def subjects_with_errors(self) -> tuple[str, ...]:
-        return tuple(sorted({issue.subject for issue in self.errors}))
+        """Subjects carrying at least one error, in declaration order.
+
+        The order is each subject's *first appearance* among the error
+        issues — i.e. suite declaration order, because that is how the
+        validator emits issues.  This ordering is what the repair stage
+        interns subjects by; it is deliberately not alphabetical and not
+        derived from set iteration.
+        """
+        seen: dict[str, None] = {}
+        for issue in self.issues:
+            if issue.severity is Severity.ERROR and issue.subject not in seen:
+                seen[issue.subject] = None
+        return tuple(seen)
 
     def render(self) -> str:
         if not self.issues:

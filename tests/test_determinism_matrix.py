@@ -5,7 +5,11 @@ The acceptance contract for process sharding: for every combination of
 generation campaign produces byte-identical suites with identical
 session-attributed query counts, and a fuzz campaign produces identical
 coverage/crash results — all compared against a plain engine-less serial
-run.  Executors are constructed explicitly (not via ``create_executor``) so
+run.  The repair-mode axis additionally pins the transactional repair
+protocol: byte-identical to its own serial baseline at every cell, and
+valid-or-exhausted equivalent to the per-query loop (see
+``test_transactional_repair_matrix``).  Executors are constructed
+explicitly (not via ``create_executor``) so
 the matrix exercises real thread/process pools even on a single-core CI
 host, where the default budget policy would lease them down to one worker.
 """
@@ -53,7 +57,8 @@ def generation_baseline(small_kernel, extractor):
     run = generator.generate_for_handlers(HANDLERS)
     suites = {handler: result.suite_text() for handler, result in run.results.items()}
     queries = {handler: result.queries for handler, result in run.results.items()}
-    return suites, queries, run.usage_summary()
+    flags = {handler: (result.valid, result.repaired) for handler, result in run.results.items()}
+    return suites, queries, run.usage_summary(), flags
 
 
 @pytest.mark.parametrize("batched", (True, False), ids=("batched", "per-query"))
@@ -69,7 +74,7 @@ def test_generation_matrix_is_byte_identical(
     per-query path must produce the same bytes, query counts and usage as
     each other and as the engine-less serial baseline.
     """
-    baseline_suites, baseline_queries, baseline_usage = generation_baseline
+    baseline_suites, baseline_queries, baseline_usage, _ = generation_baseline
     engine = _engine(kind, jobs)
     generator = KernelGPT(
         small_kernel, OracleBackend(), extractor=extractor, engine=engine,
@@ -83,6 +88,52 @@ def test_generation_matrix_is_byte_identical(
     assert suites == baseline_suites                  # byte-identical suites
     assert queries == baseline_queries                # identical query counts
     assert run.usage_summary() == baseline_usage      # derived usage identical
+
+
+# ----------------------------------------------------- repair-mode axis
+@pytest.fixture(scope="module")
+def transactional_baseline(small_kernel, extractor):
+    """The engine-less serial transactional run every repair-mode cell
+    must reproduce byte for byte."""
+    generator = KernelGPT(
+        small_kernel, OracleBackend(), extractor=extractor, repair_mode="transactional"
+    )
+    run = generator.generate_for_handlers(HANDLERS)
+    suites = {handler: result.suite_text() for handler, result in run.results.items()}
+    queries = {handler: result.queries for handler, result in run.results.items()}
+    flags = {handler: (result.valid, result.repaired) for handler, result in run.results.items()}
+    return suites, queries, flags
+
+
+@pytest.mark.parametrize("jobs", JOBS_LEVELS)
+@pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+def test_transactional_repair_matrix(
+    small_kernel, extractor, transactional_baseline, generation_baseline, kind, jobs
+):
+    """The repair-mode axis of the matrix, both halves of its contract:
+
+    * **determinism** — a transactional run is byte-identical to the
+      engine-less serial transactional baseline at every (jobs, executor)
+      cell (snapshot prompts and the rule-7 commit order make the round a
+      pure function of the round-start suite, so scheduling cannot leak);
+    * **equivalence** — its valid-or-exhausted outcome and ``repaired``
+      flags match the per-query baseline on the replay corpus, which is
+      what keeps the per-query loop an oracle rather than a second mode
+      with different results.
+    """
+    baseline_suites, baseline_queries, baseline_flags = transactional_baseline
+    _, _, _, per_query_flags = generation_baseline
+    engine = _engine(kind, jobs)
+    generator = KernelGPT(
+        small_kernel, OracleBackend(), extractor=extractor, engine=engine,
+        repair_mode="transactional",
+    )
+    run = generator.generate_for_handlers(HANDLERS, engine=engine)
+    assert {h: r.suite_text() for h, r in run.results.items()} == baseline_suites
+    assert {h: r.queries for h, r in run.results.items()} == baseline_queries
+    flags = {h: (r.valid, r.repaired) for h, r in run.results.items()}
+    assert flags == baseline_flags
+    assert flags == per_query_flags
 
 
 def test_process_generation_enforces_query_budget_at_join(small_kernel, extractor):
@@ -126,7 +177,7 @@ def test_pool_routed_generation_matrix(small_kernel, extractor, generation_basel
     """
     from repro.llm import BackendPool, DegradedBackend
 
-    baseline_suites, baseline_queries, _ = generation_baseline
+    baseline_suites, baseline_queries, _, _ = generation_baseline
     pool = BackendPool({"gpt-4": DegradedBackend.gpt4(), "gpt-3.5": DegradedBackend.gpt35()})
     engine = _engine(kind, 2)
     generator = KernelGPT(

@@ -1,0 +1,244 @@
+"""Transactional repair protocol: grouping, conflict rule, routing, pickling.
+
+The contract under test (DESIGN.md "Transactional repair protocol",
+determinism rule 7): a :class:`~repro.core.RepairTransaction` snapshots the
+suite, groups the round's error issues by ``(subject, ErrorCode)`` in
+subject interning order, and commits repaired fragments atomically — the
+lowest-indexed item touching a declaration wins it, losers re-queue.  The
+transactional repair mode must reach the same valid-or-exhausted outcome as
+the per-query loop while paying one LLM round-trip per round instead of one
+per broken declaration.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import KernelGPT, RepairTransaction
+from repro.llm import BackendPool, DegradedBackend, OracleBackend
+from repro.syzlang import ConstantTable, ErrorCode, parse_suite, validate_suite
+
+CONSTS = ConstantTable({"GOOD_CMD": 0x1234, "OTHER_CMD": 0x1235})
+
+#: A suite whose single syscall carries two error classes (unknown constant
+#: and undefined type) plus a second independently broken syscall.
+TWO_CODE_SUITE = '''
+resource fd_x[fd]
+openat$x(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/x"]], flags const[O_RDWR, int32]) fd_x
+ioctl$T(fd fd_x, cmd const[NOT_A_MACRO, int32], arg ptr[in, missing_struct])
+ioctl$U(fd fd_x, cmd const[ALSO_BAD, int32], arg const[0, int64])
+'''
+
+
+def _transaction(text):
+    suite = parse_suite(text)
+    report = validate_suite(suite, CONSTS)
+    return suite, report, RepairTransaction(suite, report)
+
+
+# ---------------------------------------------------------------- grouping
+def test_items_group_by_subject_and_code_in_interning_order():
+    suite, report, txn = _transaction(TWO_CODE_SUITE)
+    keys = [(item.subject, item.code) for item in txn.items]
+    assert keys == [
+        ("ioctl$T", ErrorCode.UNKNOWN_CONSTANT),
+        ("ioctl$T", ErrorCode.UNDEFINED_TYPE),
+        ("ioctl$U", ErrorCode.UNKNOWN_CONSTANT),
+    ]
+    assert [item.index for item in txn.items] == [0, 1, 2]
+    # The snapshot is a copy: mutating the live suite does not change it.
+    suite.remove_syscall("ioctl$U")
+    assert "ioctl$U" in txn.snapshot.syscalls
+
+
+def test_multi_issue_items_carry_every_issue_of_the_class():
+    _, report, txn = _transaction('''
+resource fd_x[fd]
+openat$x(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/x"]], flags const[O_RDWR, int32]) fd_x
+ioctl$T(fd fd_x, cmd const[BAD_ONE, int32], arg ptr[in, s])
+s {
+\ta const[BAD_TWO, int32]
+\tb const[BAD_THREE, int32]
+}
+''')
+    struct_items = [item for item in txn.items if item.subject == "s"]
+    assert len(struct_items) == 1
+    assert len(struct_items[0].issues) == 2
+    assert "BAD_TWO" in struct_items[0].render_errors()
+    assert "BAD_THREE" in struct_items[0].render_errors()
+
+
+def test_warnings_never_form_items():
+    _, report, txn = _transaction('''
+resource fd_x[fd]
+openat$x(fd const[AT_FDCWD, int64], flags const[O_RDWR, int32]) fd_x
+ioctl$T(fd fd_x, cmd const[NOT_A_MACRO, int32], arg const[0, int64])
+''')
+    # openat$x draws a missing-filename *warning*; only the error subject
+    # becomes an item.
+    assert report.warnings
+    assert [item.subject for item in txn.items] == ["ioctl$T"]
+
+
+# ------------------------------------------------------------ conflict rule
+def test_overlapping_subject_items_lower_index_wins():
+    """Two items on one subject: the first commits, the loser re-queues."""
+    suite, report, txn = _transaction(TWO_CODE_SUITE)
+    fragments = [
+        "ioctl$T(fd fd_x, cmd const[GOOD_CMD, int32], arg ptr[in, missing_struct])",
+        "ioctl$T(fd fd_x, cmd const[NOT_A_MACRO, int32], arg ptr[in, missing_struct])\n\n"
+        "missing_struct {\n\tdata array[int8, 8]\n}",
+        "",
+    ]
+    commit = txn.commit(fragments, suite, apply=KernelGPT._apply_repair)
+    assert [item.index for item in commit.applied] == [0]
+    assert [item.index for item in commit.conflicts] == [1]
+    assert commit.requeued == txn.items[1].issues
+    assert [item.index for item in commit.empty] == [2]
+    assert commit.changed
+    # The winner's fragment is in the suite; the loser's struct is not.
+    assert "GOOD_CMD" in suite.syscalls["ioctl$T"].render()
+    assert suite.get_type_def("missing_struct") is None
+    # Re-queue resolves through re-validation: the loser's error class is
+    # still reported against the committed suite, queued for round two.
+    after = validate_suite(suite, CONSTS)
+    assert ErrorCode.UNDEFINED_TYPE in {issue.code for issue in after.issues_for("ioctl$T")}
+
+
+def test_rename_collision_between_subjects_is_a_conflict():
+    """Two repairs emitting the same renamed declaration: first one wins."""
+    suite, report, txn = _transaction(TWO_CODE_SUITE)
+    renamed = "ioctl$GOOD_CMD(fd fd_x, cmd const[GOOD_CMD, int32], arg const[0, int64])"
+    fragments = ["", "", ""]
+    t_index = next(i for i, item in enumerate(txn.items)
+                   if (item.subject, item.code) == ("ioctl$T", ErrorCode.UNKNOWN_CONSTANT))
+    u_index = next(i for i, item in enumerate(txn.items) if item.subject == "ioctl$U")
+    fragments[t_index] = renamed
+    fragments[u_index] = renamed
+    commit = txn.commit(fragments, suite, apply=KernelGPT._apply_repair)
+    assert [item.subject for item in commit.applied] == ["ioctl$T"]
+    assert [item.subject for item in commit.conflicts] == ["ioctl$U"]
+    # The rename resolved through _apply_repair's subject matching: the
+    # winner's original declaration is gone, the loser's is untouched.
+    assert "ioctl$T" not in suite.syscalls
+    assert "ioctl$GOOD_CMD" in suite.syscalls
+    assert "ioctl$U" in suite.syscalls
+
+
+def test_flags_definitions_apply_and_count_as_touched():
+    """A fragment's flag-set definition is applied and claimed by rule 7."""
+    suite, report, txn = _transaction(TWO_CODE_SUITE)
+    with_flags = (
+        "ioctl$T(fd fd_x, cmd const[GOOD_CMD, int32], arg ptr[in, missing_struct])\n"
+        "shared_flags = GOOD_CMD, OTHER_CMD"
+    )
+    also_flags = (
+        "ioctl$U(fd fd_x, cmd const[OTHER_CMD, int32], arg const[0, int64])\n"
+        "shared_flags = GOOD_CMD"
+    )
+    fragments = [with_flags, "", also_flags]
+    commit = txn.commit(fragments, suite, apply=KernelGPT._apply_repair)
+    # The second fragment loses the shared flag-set declaration to the first.
+    assert [item.subject for item in commit.applied] == ["ioctl$T"]
+    assert [item.subject for item in commit.conflicts] == ["ioctl$U"]
+    assert "shared_flags" in commit.touched
+    assert suite.flags["shared_flags"].values == ("GOOD_CMD", "OTHER_CMD")
+
+
+def test_unparsable_fragment_is_skipped_without_claiming_declarations():
+    suite, report, txn = _transaction(TWO_CODE_SUITE)
+    fragments = ["this is not syzlang ((((", "", ""]
+    commit = txn.commit(fragments, suite, apply=KernelGPT._apply_repair)
+    assert [item.index for item in commit.unparsed] == [0]
+    assert not commit.changed
+    assert not commit.touched
+
+
+def test_commit_requires_one_fragment_per_item():
+    suite, _, txn = _transaction(TWO_CODE_SUITE)
+    with pytest.raises(ValueError):
+        txn.commit(["only one"], suite, apply=KernelGPT._apply_repair)
+
+
+# ---------------------------------------------------------------- pickling
+def test_transaction_pickles_across_process_shards():
+    """Transactions are plain data: snapshot, items and issues survive pickle."""
+    suite, report, txn = _transaction(TWO_CODE_SUITE)
+    clone = pickle.loads(pickle.dumps(txn))
+    assert [(item.subject, item.code, item.issues) for item in clone.items] == \
+           [(item.subject, item.code, item.issues) for item in txn.items]
+    assert clone.snapshot.syscall_names() == txn.snapshot.syscall_names()
+    # A commit on the unpickled transaction behaves identically.
+    fragment = "ioctl$T(fd fd_x, cmd const[GOOD_CMD, int32], arg ptr[in, missing_struct])"
+    target = parse_suite(TWO_CODE_SUITE)
+    commit = clone.commit([fragment, "", ""], target, apply=KernelGPT._apply_repair)
+    assert [item.index for item in commit.applied] == [0]
+    assert "GOOD_CMD" in target.syscalls["ioctl$T"].render()
+
+
+# ----------------------------------------------------------- end to end
+@pytest.fixture(scope="module")
+def repair_heavy_runs(small_kernel, extractor):
+    """Per-query and transactional runs of an error-prone analyst."""
+
+    def build(mode):
+        backend = DegradedBackend.gpt4(
+            bad_constant_rate=0.9, undefined_type_rate=0.5, unrepairable_rate=0.0
+        )
+        return KernelGPT(small_kernel, backend, extractor=extractor, repair_mode=mode)
+
+    handlers = ["dm_ctl_fops", "cec_devnode_fops", "rds_proto_ops", "kvm_fops", "snapshot_fops"]
+    per_query = {h: build("per-query").generate_for_handler(h) for h in handlers}
+    transactional = {h: build("transactional").generate_for_handler(h) for h in handlers}
+    return per_query, transactional
+
+
+def test_transactional_reaches_per_query_validity(repair_heavy_runs):
+    """Equivalence oracle: same valid-or-exhausted outcome, same repaired flags."""
+    per_query, transactional = repair_heavy_runs
+    for handler, pq in per_query.items():
+        tx = transactional[handler]
+        assert (tx.valid, tx.repaired) == (pq.valid, pq.repaired), handler
+        assert tx.repair_mode == "transactional" and pq.repair_mode == "per-query"
+
+
+def test_transactional_saves_llm_round_trips(repair_heavy_runs):
+    """One batch per round beats one round-trip per declaration, >=2x here."""
+    per_query, transactional = repair_heavy_runs
+    pq_calls = sum(result.repair_llm_calls for result in per_query.values())
+    tx_calls = sum(result.repair_llm_calls for result in transactional.values())
+    assert tx_calls > 0
+    assert pq_calls >= 2 * tx_calls, (pq_calls, tx_calls)
+    # Transactional rounds equal their LLM calls by construction.
+    for result in transactional.values():
+        assert result.repair_llm_calls == result.repair_rounds_used or not result.repair_queries
+
+
+def test_requeued_losers_converge_on_later_rounds(repair_heavy_runs):
+    """Conflicts happen on this corpus and their handlers still repair."""
+    per_query, transactional = repair_heavy_runs
+    conflicted = [r for r in transactional.values() if r.repair_conflicts]
+    assert conflicted, "expected at least one conflicted round on the error-prone corpus"
+    for result in conflicted:
+        assert result.repair_requeued >= result.repair_conflicts
+        assert result.valid == per_query[result.handler_name].valid
+
+
+# ------------------------------------------------------------- kind routing
+def test_repair_prompts_route_to_cheap_profile_member(small_kernel, extractor):
+    """A kind-route table steers the repair stage to its member, with
+    per-kind usage attributed in the pool's per-member summaries."""
+    pool = BackendPool(
+        {"gpt-4": OracleBackend(), "cheap": DegradedBackend.gpt4(unrepairable_rate=0.0)},
+        default="gpt-4",
+        routes={"repair": "cheap"},
+    )
+    generator = KernelGPT(
+        small_kernel, pool, extractor=extractor, repair_mode="transactional"
+    )
+    result = generator.generate_for_handler("cec_devnode_fops")
+    assert result.repair_queries > 0
+    by_member = pool.usage_by_member()
+    assert set(by_member["cheap"]["by_kind"]) == {"repair"}
+    assert "repair" not in by_member["gpt-4"]["by_kind"]
+    assert by_member["cheap"]["queries"] == by_member["cheap"]["by_kind"]["repair"]["queries"]

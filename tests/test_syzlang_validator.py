@@ -87,6 +87,56 @@ node {
     assert ErrorCode.RECURSIVE_TYPE in {i.code for i in report.errors}
 
 
+def test_subjects_with_errors_follows_declaration_order():
+    """Ordering is public API: declaration order, not alphabetical, no sets.
+
+    The suite below declares its broken syscalls in deliberately
+    anti-alphabetical order (zz before mm before aa); the report must hand
+    subjects back in declaration order — the interning order the repair
+    stage's deterministic conflict rule (rule 7) is built on — under any
+    PYTHONHASHSEED.
+    """
+    report = _validate('''
+resource fd_x[fd]
+openat$x(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/x"]], flags const[O_RDWR, int32]) fd_x
+ioctl$ZZ(fd fd_x, cmd const[NOT_A_MACRO, int32], arg const[0, int64])
+ioctl$MM(fd fd_x, cmd const[GOOD_CMD, int32], arg ptr[in, missing_struct])
+ioctl$AA(fd fd_x, cmd const[ALSO_NOT_A_MACRO, int32], arg const[0, int64])
+''')
+    assert report.subjects_with_errors() == ("ioctl$ZZ", "ioctl$MM", "ioctl$AA")
+
+
+def test_issues_for_preserves_report_order():
+    """A subject's issues come back in report (declaration) order."""
+    report = _validate('''
+resource fd_x[fd]
+openat$x(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/x"]], flags const[O_RDWR, int32]) fd_x
+ioctl$T(fd fd_x, cmd const[NOT_A_MACRO, int32], arg ptr[in, missing_struct])
+''')
+    codes = [issue.code for issue in report.issues_for("ioctl$T")]
+    assert codes == [ErrorCode.UNKNOWN_CONSTANT, ErrorCode.UNDEFINED_TYPE]
+    assert [issue.code for issue in report.issues_for("ioctl$T")] == codes  # stable
+
+
+def test_subject_order_is_first_error_appearance_across_kinds():
+    """Struct subjects intern after syscall subjects, in struct order."""
+    report = _validate('''
+resource fd_x[fd]
+openat$x(fd const[AT_FDCWD, int64], file ptr[in, string["/dev/x"]], flags const[O_RDWR, int32]) fd_x
+ioctl$T(fd fd_x, cmd const[NOT_A_MACRO, int32], arg ptr[in, zebra])
+zebra {
+\tcount len[nonexistent, int32]
+}
+alpha {
+\tvalue const[ANOTHER_BAD, int32]
+}
+''')
+    subjects = report.subjects_with_errors()
+    assert subjects[0] == "ioctl$T"
+    # zebra declared before alpha: declaration order, not alphabetical.
+    assert subjects.index("zebra") < subjects.index("alpha")
+
+
 def test_missing_specs_report_histogram():
     ground_truth = {
         "h1": ("driver", ("openat", "ioctl$A", "ioctl$B")),
