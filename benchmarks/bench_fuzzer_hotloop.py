@@ -16,7 +16,11 @@ size and call counts equal the string-set run before timing is reported, so
 a speedup is only ever printed for a byte-identical result.  ``--jobs``
 additionally times the engine fan-out of repeated bitmap campaigns (serial
 vs a 4-worker process pool), the path whose task results shrank from
-thousands of pickled label strings to one integer per campaign.
+thousands of pickled label strings to one integer per campaign.  The
+fan-out row separates fixed pool **setup** (spawn + payload pickling,
+measured by a tiny probe run) from **steady-state** campaign time and
+derives the ``crossover_budget`` where fan-out starts to pay — see
+:func:`measure_jobs`.
 
 CI usage (the fuzz-hotloop smoke job)::
 
@@ -97,24 +101,69 @@ def measure_budget(kernel, suites, budget: int) -> dict:
     }
 
 
+#: Budget for the process-pool setup probe: small enough that the campaigns
+#: themselves are negligible, so the probe's wall time is almost entirely
+#: pool startup + payload pickling.
+SETUP_PROBE_BUDGET = 1
+
+
 def measure_jobs(kernel, suites, budget: int, jobs: int) -> dict:
-    """Serial vs process-pool engine fan-out of repeated bitmap campaigns."""
+    """Serial vs process-pool engine fan-out, with setup and steady state split.
+
+    A process pool pays a fixed cost per run — interpreter spawn, imports,
+    pickling the kernel/suite payload into each worker — before any campaign
+    executes.  Folding that into one wall-clock number made the recorded
+    fan-out row look like a hot-loop regression (process slower than serial)
+    when the hot loop was fine and the budget was simply too small to
+    amortize startup.  So the row now separates the two regimes:
+
+    * ``process_setup_s`` — wall time of a probe run at ``SETUP_PROBE_BUDGET``
+      (campaign work ≈ 0, so this is the fixed overhead);
+    * ``process_steady_s`` — the full run minus the probe: the actual
+      campaign execution time once workers are up;
+    * ``crossover_budget`` — the per-campaign program budget above which the
+      process pool beats serial: setup is amortized when
+      ``jobs * budget * (serial_rate - steady_rate) > setup_s``.  ``None``
+      when steady-state process throughput never beats serial (e.g. a
+      single-core host, where the pool degrades to one worker and only adds
+      overhead) — there is no budget at which fan-out pays off there.
+
+    A future hot-loop regression now shows up in ``process_steady_s``
+    (or the budget cells) specifically, not blurred into startup noise.
+    """
     suite = suites["syzkaller"]
     started = time.perf_counter()
     serial = run_repeated_campaigns(kernel, suite, repetitions=jobs, budget_programs=budget)
     serial_seconds = time.perf_counter() - started
     started = time.perf_counter()
+    run_repeated_campaigns(
+        kernel, suite, repetitions=jobs, budget_programs=SETUP_PROBE_BUDGET,
+        jobs=jobs, executor="process",
+    )
+    setup_seconds = time.perf_counter() - started
+    started = time.perf_counter()
     sharded = run_repeated_campaigns(
         kernel, suite, repetitions=jobs, budget_programs=budget,
         jobs=jobs, executor="process",
     )
-    sharded_seconds = time.perf_counter() - started
+    total_seconds = time.perf_counter() - started
+    steady_seconds = max(total_seconds - setup_seconds, 0.0)
     assert [c.coverage for c in sharded] == [c.coverage for c in serial], \
         "process-sharded campaigns diverge from serial"
+    total_programs = jobs * budget
+    serial_rate = serial_seconds / total_programs
+    steady_rate = steady_seconds / total_programs
+    if serial_rate > steady_rate:
+        crossover = int(setup_seconds / (jobs * (serial_rate - steady_rate))) + 1
+    else:
+        crossover = None
     return {
         "repetitions": jobs,
         "serial_s": round(serial_seconds, 4),
-        "process_jobs4_s": round(sharded_seconds, 4),
+        "process_total_s": round(total_seconds, 4),
+        "process_setup_s": round(setup_seconds, 4),
+        "process_steady_s": round(steady_seconds, 4),
+        "crossover_budget": crossover,
     }
 
 
@@ -147,9 +196,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs:
         fanout = measure_jobs(kernel, suites, max(budgets), args.jobs)
         row["fanout"] = fanout
+        crossover = fanout["crossover_budget"]
+        crossover_note = (
+            f"crossover at budget ~{crossover}" if crossover is not None
+            else "no crossover (steady-state not faster than serial on this host)"
+        )
         print(f"engine fan-out ({fanout['repetitions']} campaigns, budget {max(budgets)}): "
               f"serial {fanout['serial_s']:.3f}s  process --jobs {args.jobs} "
-              f"{fanout['process_jobs4_s']:.3f}s (identical coverage)")
+              f"{fanout['process_total_s']:.3f}s "
+              f"(setup {fanout['process_setup_s']:.3f}s + steady "
+              f"{fanout['process_steady_s']:.3f}s; {crossover_note}; identical coverage)")
 
     exit_code = 0
     headline = row["budgets"].get("2000") or row["budgets"][str(max(budgets))]

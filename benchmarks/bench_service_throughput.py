@@ -1,0 +1,235 @@
+"""Benchmark: job-service throughput with and without batch coalescing.
+
+The workload is N concurrent generation jobs (one tenant each) against one
+shared backend.  Every job generates specs for two *shared* handlers — the
+multi-tenant overlap the coalescer exists to exploit — plus one handler
+unique to the job, so merged batches always mix duplicate and novel work.
+The grid crosses jobs-in-flight × backend pool size × coalescing on/off:
+
+* **off** runs the service in drain mode: every LLM submission is its own
+  ``complete_batch`` round trip, the pre-coalescing schedule;
+* **on** runs the window/size-triggered :class:`~repro.llm.BatchCoalescer`,
+  which merges concurrent jobs' wavefronts into single round trips per pool
+  member.
+
+Every backend round trip is counted (and padded with a small simulated
+network latency, ``--call-latency``), and every cell asserts the on/off
+job outputs are byte-identical before any number is reported — coalescing
+must change round-trip counts only, never bytes.  The headline is the
+**backend round-trip reduction** (off calls / on calls) at 8 jobs in
+flight against the single-member pool.
+
+CI usage (the service-throughput smoke job)::
+
+    python benchmarks/bench_service_throughput.py --check benchmarks/BENCH_service.json \
+        --json BENCH_service.json
+
+``--check`` exits non-zero when the measured headline reduction falls below
+the recorded trajectory's ``check_floor``; ``--json`` appends the measured
+row for the artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.baselines import build_syzkaller_corpus  # noqa: E402
+from repro.core import select_target_handlers  # noqa: E402
+from repro.experiments.config import quick  # noqa: E402
+from repro.kernel import build_default_kernel  # noqa: E402
+from repro.llm import BackendPool, LLMBackend, OracleBackend  # noqa: E402
+from repro.service import Job, JobService  # noqa: E402
+
+#: Handlers every job generates (the cross-tenant overlap)...
+SHARED_HANDLERS = ("dm_ctl_fops", "kvm_fops")
+#: ...plus one of these, unique per job (novel work per tenant).
+UNIQUE_POOL = (
+    "loop_control_fops", "nvram_fops", "ppp_fops", "snapshot_fops",
+    "timer_fops", "vhost_vsock_fops", "rds_proto_ops", "packet_proto_ops",
+)
+DEFAULT_JOBS_GRID = (1, 4, 8)
+DEFAULT_POOLS = (1, 2)
+
+
+class CountingBackend(LLMBackend):
+    """Counts ``complete_batch`` round trips, with simulated per-call latency.
+
+    The oracle answers in microseconds, which would hide the thing the
+    coalescer optimizes — per-round-trip overhead.  A small sleep per call
+    stands in for the network/API latency a real backend pays, making wall
+    time track round trips.
+    """
+
+    def __init__(self, inner: LLMBackend, call_latency: float = 0.0):
+        super().__init__(model=inner.model)
+        self.inner = inner
+        self.call_latency = call_latency
+        self.calls = 0
+
+    def complete_batch(self, requests):
+        self.calls += 1
+        if self.call_latency:
+            time.sleep(self.call_latency)
+        return self.inner.complete_batch(requests)
+
+    def complete(self, prompt):  # pragma: no cover - complete_batch overrides
+        raise NotImplementedError
+
+
+def build_backend(pool_size: int, call_latency: float):
+    """One counting backend, or a round-robin pool of counting members.
+
+    Pool members are identical oracles (completions are pure functions of
+    the prompt), so member placement — which coalescing changes, because it
+    reshapes the batches the scheduler sees — cannot change output bytes.
+    """
+    if pool_size <= 1:
+        member = CountingBackend(OracleBackend(), call_latency)
+        return member, (member,)
+    members = {
+        f"gpt-4-{index}": CountingBackend(OracleBackend(), call_latency)
+        for index in range(pool_size)
+    }
+    pool = BackendPool(members, default=next(iter(members)), schedule="round-robin")
+    return pool, tuple(members.values())
+
+
+def run_cell(kernel, jobs_in_flight: int, pool_size: int, coalesce: bool,
+             call_latency: float, window: float) -> dict:
+    """One grid cell: N concurrent generation jobs through a fresh service."""
+    backend, counters = build_backend(pool_size, call_latency)
+    service = JobService(
+        quick(),
+        workers=jobs_in_flight,
+        coalesce=coalesce,
+        window=window,
+        kernel=kernel,
+        backend=backend,
+    )
+    jobs = [
+        Job(
+            kind="generation",
+            tenant=f"tenant-{index}",
+            handlers=SHARED_HANDLERS + (UNIQUE_POOL[index % len(UNIQUE_POOL)],),
+        )
+        for index in range(jobs_in_flight)
+    ]
+    started = time.perf_counter()
+    handles = service.submit_all(jobs)
+    results = [handle.wait(timeout=600) for handle in handles]
+    wall = time.perf_counter() - started
+    for result in results:
+        if result.error is not None:
+            raise result.error
+    stats = service.stats()["coalescer"]
+    service.close()
+    return {
+        "wall_s": round(wall, 4),
+        "round_trips": sum(counter.calls for counter in counters),
+        "queries": sum(result.queries for result in results),
+        "saved_by_coalescing": stats["queries_saved_by_coalescing"],
+        "merged_flushes": stats["merged_flushes"],
+        "max_merged_batch": stats["max_merged_batch"],
+        "texts": [result.text for result in results],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Job-service throughput: coalescing on vs off across jobs × pool size"
+    )
+    parser.add_argument("--jobs-grid", default=",".join(str(j) for j in DEFAULT_JOBS_GRID),
+                        help="comma-separated jobs-in-flight counts (default: 1,4,8)")
+    parser.add_argument("--pools", default=",".join(str(p) for p in DEFAULT_POOLS),
+                        help="comma-separated backend pool sizes (default: 1,2)")
+    parser.add_argument("--call-latency", type=float, default=0.002, metavar="S",
+                        help="simulated per-round-trip backend latency (default: 0.002s)")
+    parser.add_argument("--window", type=float, default=0.02, metavar="S",
+                        help="coalescing admission window (default: 0.02s)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="append the measured trajectory row to this JSON file")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="fail if the 8-job round-trip reduction drops below the "
+                             "recorded trajectory's check_floor in this JSON file")
+    args = parser.parse_args(argv)
+    jobs_grid = [int(part) for part in args.jobs_grid.split(",") if part.strip()]
+    pools = [int(part) for part in args.pools.split(",") if part.strip()]
+
+    kernel = build_default_kernel("small")
+    # Warm the shared artifacts (corpus, selection) outside the measured region.
+    select_target_handlers(kernel, build_syzkaller_corpus(kernel))
+
+    row: dict = {
+        "workload": {
+            "shared_handlers": list(SHARED_HANDLERS),
+            "unique_pool": list(UNIQUE_POOL),
+            "call_latency_s": args.call_latency,
+            "window_s": args.window,
+        },
+        "grid": {},
+    }
+    headline = None
+    for jobs_in_flight in jobs_grid:
+        for pool_size in pools:
+            off = run_cell(kernel, jobs_in_flight, pool_size, False,
+                           args.call_latency, args.window)
+            on = run_cell(kernel, jobs_in_flight, pool_size, True,
+                          args.call_latency, args.window)
+            assert on.pop("texts") == off.pop("texts"), (
+                f"coalescing changed output bytes at jobs={jobs_in_flight} pool={pool_size}"
+            )
+            reduction = round(off["round_trips"] / max(1, on["round_trips"]), 2)
+            cell = {"off": off, "on": on, "round_trip_reduction": reduction}
+            row["grid"][f"jobs{jobs_in_flight}_pool{pool_size}"] = cell
+            if jobs_in_flight == 8 and pool_size == 1:
+                headline = reduction
+            print(f"jobs={jobs_in_flight} pool={pool_size}: "
+                  f"off {off['round_trips']:4d} trips {off['wall_s']:.3f}s | "
+                  f"on {on['round_trips']:4d} trips {on['wall_s']:.3f}s | "
+                  f"reduction {reduction:.2f}x  saved={on['saved_by_coalescing']} "
+                  f"max_batch={on['max_merged_batch']} (byte-identical)")
+    if headline is None:
+        # The floor is defined at the 8-job single-backend cell; without it
+        # the row is informational only.
+        largest = row["grid"][f"jobs{max(jobs_grid)}_pool{min(pools)}"]
+        headline = largest["round_trip_reduction"]
+        print(f"note: 8-job pool-1 cell not measured; headline from "
+              f"jobs={max(jobs_grid)} pool={min(pools)}")
+    row["headline_reduction"] = headline
+    print(f"headline round-trip reduction (8 jobs, pool 1): {headline:.2f}x")
+
+    exit_code = 0
+    if args.check is not None:
+        recorded = json.loads(args.check.read_text())
+        reference_row = recorded["rows"][-1]
+        floor = reference_row.get("check_floor", 1.5)
+        if headline < floor:
+            print(f"FAIL: measured round-trip reduction {headline:.2f}x is below "
+                  f"the recorded floor {floor:.2f}x", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"check ok: {headline:.2f}x >= floor {floor:.2f}x")
+    if args.json is not None:
+        # The floor for future --check runs: the measured reduction with a
+        # noise margin, never below the 1.5x acceptance target.
+        row["check_floor"] = max(1.5, round(headline * 0.6, 2))
+        payload = {"benchmark": "service-throughput", "rows": [row]}
+        if args.json.exists():
+            try:
+                existing = json.loads(args.json.read_text())
+                payload["rows"] = existing.get("rows", []) + payload["rows"]
+            except (ValueError, KeyError):
+                pass
+        args.json.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote trajectory row to {args.json}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -212,6 +212,41 @@ class KernelGPT:
         self._constants = self.extractor.constants()
         self._validator = SpecValidator(self._constants, warn_unused=False)
 
+    def clone(
+        self,
+        *,
+        backend: LLMBackend | None = None,
+        engine: ExecutionEngine | None = None,
+        repair_mode: str | None = None,
+        backend_route: str | None = None,
+        repair_route: str | None = None,
+    ) -> "KernelGPT":
+        """A shallow per-session copy with swapped backend/engine wiring.
+
+        The job service runs many jobs against one shared context: each job
+        needs its own backend handle (for tenant/client attribution) and its
+        own engine (for an isolated memo namespace), while the expensive
+        immutable collaborators — kernel, extractor, constants, validator —
+        stay shared.  Cloning instead of reconstructing keeps that sharing
+        and skips re-deriving the constant table per job.
+        """
+        clone = object.__new__(KernelGPT)
+        clone.__dict__.update(self.__dict__)
+        if backend is not None:
+            clone.backend = backend
+        clone.engine = engine
+        if repair_mode is not None:
+            if repair_mode not in REPAIR_MODES:
+                raise ValueError(
+                    f"unknown repair mode {repair_mode!r}; choose from {', '.join(REPAIR_MODES)}"
+                )
+            clone.repair_mode = repair_mode
+        if backend_route is not None:
+            clone.backend_route = backend_route
+        if repair_route is not None:
+            clone.repair_route = repair_route
+        return clone
+
     def __getstate__(self) -> dict:
         """Generators are picklable minus the engine.
 

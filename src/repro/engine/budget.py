@@ -32,6 +32,8 @@ import os
 import threading
 from contextlib import contextmanager
 
+from ..errors import ServiceSaturated
+
 #: Which budgets the current thread holds a leased worker slot of.  Pool
 #: executors mark their worker threads for the duration of each task
 #: (:meth:`GlobalWorkerBudget.held_slot`); nested leases on the same thread
@@ -67,6 +69,36 @@ class GlobalWorkerBudget:
         with self._lock:
             available = max(0, self.limit - self._leased)
             granted = max(1, min(requested, available))
+            self._leased += granted
+            self.peak = max(self.peak, self._leased)
+            return granted
+
+    def admit(self, requested: int, *, required: int | None = None) -> int:
+        """Lease like :meth:`lease`, but refuse loudly instead of degrading.
+
+        :meth:`lease` silently grants a single worker when the budget is
+        exhausted — the right behaviour for nested compute pools, where
+        degrading to serial execution beats deadlocking.  Admission control
+        is the opposite contract: a job service that cannot get the workers
+        it was asked for should *refuse* the work with a typed error the
+        caller can act on, not quietly run it at a fraction of the promised
+        concurrency.  Raises :class:`~repro.errors.ServiceSaturated` when
+        fewer than ``required`` slots (default: all of ``requested``) are
+        free; otherwise grants up to ``requested`` and returns the grant,
+        which the caller must :meth:`release`.
+        """
+        requested = max(1, requested)
+        required = requested if required is None else max(1, min(required, requested))
+        with self._lock:
+            available = max(0, self.limit - self._leased)
+            if available < required:
+                raise ServiceSaturated(
+                    f"worker budget saturated: {available} of {self.limit} slots free, "
+                    f"admission requires {required}",
+                    limit=self.limit,
+                    pending=self._leased,
+                )
+            granted = min(requested, available)
             self._leased += granted
             self.peak = max(self.peak, self._leased)
             return granted

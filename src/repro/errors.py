@@ -90,3 +90,53 @@ class ExecutorError(FuzzerError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment harness is misconfigured."""
+
+
+class AdmissionError(ReproError):
+    """Base class for serving-layer admission-control failures.
+
+    The job service refuses work it cannot (or must not) take on with a
+    typed error carrying the admission context, so callers — the ``serve``
+    runner, load generators, tests — can distinguish "try again later"
+    (:class:`ServiceSaturated`) from "this tenant is out of budget"
+    (:class:`TenantBudgetExceeded`) without string matching.
+    """
+
+
+class ServiceSaturated(AdmissionError):
+    """Raised when the job service (or a worker budget) cannot admit more work.
+
+    Attributes
+    ----------
+    limit:
+        The admission limit that was hit (queue capacity or worker slots),
+        when known.
+    pending:
+        How much work was already admitted at refusal time, when known.
+    """
+
+    def __init__(self, message: str, *, limit: int | None = None, pending: int | None = None):
+        self.limit = limit
+        self.pending = pending
+        super().__init__(message)
+
+
+class TenantBudgetExceeded(AdmissionError):
+    """Raised when a tenant's query budget cannot fund a submitted batch.
+
+    Mirrors the backend budget contract (:class:`LLMBudgetExceeded`): the
+    in-budget prefix of the batch is still served and charged before the
+    error raises, and ``request_index`` names the position — within the
+    submitted batch — of the first request that could not be funded, so the
+    failure point is identical whether the tenant batches or loops.
+    """
+
+    def __init__(self, tenant: str, *, limit: int, requested: int, request_index: int):
+        self.tenant = tenant
+        self.limit = limit
+        self.requested = requested
+        self.request_index = request_index
+        super().__init__(
+            f"tenant {tenant!r} exceeded its query budget of {limit}: "
+            f"{requested} distinct queries submitted, request #{request_index} refused"
+        )

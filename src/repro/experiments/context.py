@@ -39,9 +39,15 @@ class EvaluationContext:
         kernel: KernelCodebase | None = None,
         *,
         engine: ExecutionEngine | None = None,
+        analysis_backend: LLMBackend | None = None,
     ):
         self.config = config or quick()
         self.engine = engine or ExecutionEngine(jobs=1)
+        #: Injected analyst backend.  The job service sets this so every
+        #: job's pipeline (including full experiments) routes its LLM
+        #: traffic through the service's shared coalescing front door
+        #: instead of building a private backend per context.
+        self.analysis_backend = analysis_backend
         self._lock = threading.RLock()
         self._kernel = kernel
         self._extractor: KernelExtractor | None = None
@@ -98,8 +104,12 @@ class EvaluationContext:
         capability profile; the pool's kind lookup then steers every prompt
         of a routed kind — the repair stage, typically — to its profile,
         whatever repair mode is active.  Without a route table the plain
-        single-backend oracle is used, exactly as before.
+        single-backend oracle is used, exactly as before.  An injected
+        ``analysis_backend`` (the serving layer's coalescing handle) wins
+        over both.
         """
+        if self.analysis_backend is not None:
+            return self.analysis_backend
         route_table = dict(self.config.route_table or ())
         if not route_table:
             return OracleBackend()

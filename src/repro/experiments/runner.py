@@ -140,6 +140,18 @@ def parse_route_table(entries: list[str]) -> tuple[tuple[str, str], ...]:
 
 
 def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    if arguments and arguments[0] == "serve":
+        # The serving front door lives in repro.service; imported lazily so
+        # the batch CLI pays nothing for it.
+        from ..errors import AdmissionError
+        from ..service.cli import serve_main
+
+        try:
+            return serve_main(arguments[1:])
+        except AdmissionError as error:
+            print(f"admission refused: {error}", file=sys.stderr)
+            return 2
     parser = argparse.ArgumentParser(description="Regenerate the KernelGPT evaluation tables/figures")
     parser.add_argument("--experiment", "-e", action="append", choices=sorted(EXPERIMENTS) + ["all"],
                         default=None, help="experiment(s) to run (default: all)")

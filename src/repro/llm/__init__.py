@@ -11,6 +11,7 @@ from .backend import (
     Prompt,
     UsageMeter,
 )
+from .coalescer import BatchCoalescer, CoalescingBackend
 from .degraded import PROFILE_FACTORIES, DegradedBackend, backend_for_profile
 from .oracle import OracleBackend, slice_case_block
 from .pool import POOL_SCHEDULES, BackendPool
@@ -22,6 +23,8 @@ __all__ = [
     "LLMRequest",
     "BackendPool",
     "POOL_SCHEDULES",
+    "BatchCoalescer",
+    "CoalescingBackend",
     "Prompt",
     "Completion",
     "UsageMeter",

@@ -1,0 +1,10 @@
+"""The serving layer: a queue-driven job service over the engine.
+
+See DESIGN.md's "Serving layer" section for the job lifecycle, coalescing
+windows, tenant budget rules and the single-job byte-identity guarantee.
+"""
+
+from .jobs import JOB_KINDS, Job, JobEvent, JobHandle, JobResult
+from .service import JobService
+
+__all__ = ["JOB_KINDS", "Job", "JobEvent", "JobHandle", "JobResult", "JobService"]

@@ -1,0 +1,183 @@
+"""``kernelgpt-repro serve`` — drive the job service from the command line.
+
+A serve invocation submits every ``--job`` up front, streams events as
+handlers land, then prints each job's output grouped in submission order
+(deterministic whatever the completion order was).  Experiment jobs with
+``--output`` write the same ``<experiment>.txt`` files as the batch CLI,
+byte for byte — that equivalence is CI-checked.
+
+Job syntax: ``--job [TENANT=]KIND:SPEC`` where KIND is one of
+``generation``/``repair``/``fuzz``/``experiment`` and SPEC is
+kind-specific (comma-separated handlers, a suite selector, an experiment
+name).  A bare name with no kind is shorthand for ``experiment:NAME``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..errors import AdmissionError
+from .jobs import JOB_KINDS, Job
+
+
+def parse_job(entry: str) -> Job:
+    """Parse one ``[TENANT=]KIND:SPEC`` flag into a :class:`Job`."""
+    tenant = "default"
+    body = entry.strip()
+    if "=" in body.split(":", 1)[0]:
+        tenant, _, body = body.partition("=")
+        tenant, body = tenant.strip(), body.strip()
+        if not tenant or not body:
+            raise SystemExit(f"--job expects [TENANT=]KIND:SPEC, got {entry!r}")
+    kind, separator, spec = body.partition(":")
+    kind, spec = kind.strip(), spec.strip()
+    if not separator:
+        # Bare experiment-name shorthand: --job table1
+        kind, spec = "experiment", kind
+    if kind not in JOB_KINDS:
+        raise SystemExit(
+            f"--job {entry!r}: unknown kind {kind!r}; choose from {', '.join(JOB_KINDS)}"
+        )
+    if not spec:
+        raise SystemExit(f"--job {entry!r}: empty spec")
+    if kind == "experiment":
+        return Job(kind=kind, tenant=tenant, experiment=spec)
+    if kind == "fuzz":
+        suite, _, seed = spec.partition("@")
+        return Job(kind=kind, tenant=tenant, suite=suite, seed=int(seed) if seed else 0)
+    handlers = tuple(part.strip() for part in spec.split(",") if part.strip())
+    return Job(kind=kind, tenant=tenant, handlers=handlers)
+
+
+def parse_tenant_budget(entry: str) -> tuple[str, int]:
+    tenant, separator, limit = entry.partition("=")
+    tenant, limit = tenant.strip(), limit.strip()
+    if not separator or not tenant or not limit.isdigit():
+        raise SystemExit(f"--tenant-budget expects TENANT=N, got {entry!r}")
+    return tenant, int(limit)
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="kernelgpt-repro serve",
+        description="Run generation/repair/fuzz/experiment jobs through the coalescing job service",
+    )
+    parser.add_argument("--job", action="append", default=None, metavar="[TENANT=]KIND:SPEC",
+                        help="a job to submit (repeatable); bare NAME means experiment:NAME")
+    parser.add_argument("--preset", choices=["quick", "paper"], default="quick")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="service worker threads = jobs in flight (default: 2)")
+    parser.add_argument("--engine-jobs", type=int, default=1,
+                        help="per-job engine fan-out width (default: 1)")
+    parser.add_argument("--executor", choices=["serial", "thread", "process"], default="thread",
+                        help="per-job engine pool flavour (default: thread)")
+    parser.add_argument("--no-coalesce", action="store_true",
+                        help="drain mode: every LLM submission flushes alone (for A/B runs)")
+    parser.add_argument("--window", type=float, default=10.0, metavar="MS",
+                        help="coalescing admission window in milliseconds (default: 10)")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="flush as soon as this many requests are pending (default: 64)")
+    parser.add_argument("--tenant-budget", action="append", default=None, metavar="TENANT=N",
+                        help="cap TENANT at N distinct backend queries (repeatable)")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        help="refuse submissions beyond this many queued+running jobs")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="directory for experiment-job result files (CLI-identical bytes)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-job cache statistics and the coalescer summary")
+    args = parser.parse_args(argv)
+
+    from ..experiments.config import paper, quick
+    from .service import JobService
+
+    jobs = [parse_job(entry) for entry in (args.job or [])]
+    if not jobs:
+        parser.error("at least one --job is required")
+    tenant_budgets = dict(parse_tenant_budget(entry) for entry in (args.tenant_budget or []))
+    config = paper() if args.preset == "paper" else quick()
+
+    service = JobService(
+        config,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        coalesce=not args.no_coalesce,
+        window=args.window / 1000.0,
+        max_batch=args.max_batch,
+        engine_jobs=args.engine_jobs,
+        executor=args.executor,
+        tenant_budgets=tenant_budgets,
+    )
+    failures = 0
+    try:
+        try:
+            handles = service.submit_all(jobs)
+        except AdmissionError as error:
+            print(f"admission refused: {error}", file=sys.stderr)
+            return 2
+        results = [handle.wait() for handle in handles]
+        for result in results:
+            print(f"=== {result.job_id} {result.label} (tenant={result.tenant})")
+            for event in result.events:
+                print(f"  [{event.elapsed:6.2f}s] {event.stage}: {event.detail}")
+            if result.error is not None:
+                failures += 1
+                print(f"  FAILED: {result.error!r}", file=sys.stderr)
+                continue
+            print(result.text)
+            print(f"[{result.job_id}] completed in {result.duration:.1f}s "
+                  f"queries={result.queries} "
+                  f"saved_by_coalescing={result.coalescing['queries_saved_by_coalescing']}\n")
+            if args.output is not None and result.kind == "experiment":
+                args.output.mkdir(parents=True, exist_ok=True)
+                # result.text already carries the CLI's trailing newline.
+                (args.output / f"{_experiment_name(result)}.txt").write_text(result.text)
+        if args.profile:
+            _print_profile(service, results)
+    except AdmissionError as error:
+        print(f"admission refused: {error}", file=sys.stderr)
+        return 2
+    finally:
+        service.close()
+    return 1 if failures else 0
+
+
+def _experiment_name(result) -> str:
+    # JobResult carries the human label "experiment:NAME"; recover NAME for
+    # the output filename so it matches the batch CLI's layout.
+    return result.label.split(":", 1)[1] if ":" in result.label else result.label
+
+
+def _print_profile(service, results) -> None:
+    print("per-job statistics")
+    print("------------------")
+    for result in results:
+        coalescing = result.coalescing
+        print(f"{result.job_id}  queries={result.queries:5d}  "
+              f"saved_by_coalescing={coalescing.get('queries_saved_by_coalescing', 0):4d}  "
+              f"flushes_joined={coalescing.get('flushes_joined', 0):4d}")
+        for cache in result.cache.values():
+            print(f"    cache {cache['name']:8s}  hits={cache['hits']:6d}  "
+                  f"misses={cache['misses']:6d}  hit_rate={cache['hit_rate']:.1%}")
+    stats = service.stats()
+    coalescer = stats["coalescer"]
+    print("coalescer summary")
+    print("-----------------")
+    print(f"flushes={coalescer['flushes']}  merged_flushes={coalescer['merged_flushes']}  "
+          f"requests={coalescer['requests']}  distinct={coalescer['distinct_requests']}  "
+          f"saved={coalescer['queries_saved_by_coalescing']}  "
+          f"max_merged_batch={coalescer['max_merged_batch']}")
+    for kind, entry in sorted(coalescer["by_kind"].items()):
+        print(f"  kind {kind:12s}  batches={entry['batches']:5d}  "
+              f"requests={entry['requests']:6d}  max_batch={entry['max_batch']:4d}")
+    if stats["tenants"]:
+        print("tenant budgets")
+        print("--------------")
+        for tenant, usage in sorted(stats["tenants"].items()):
+            print(f"  {tenant:12s}  used={usage['used']:5d}  limit={usage['limit']:5d}  "
+                  f"remaining={usage['remaining']:5d}")
+
+
+if __name__ == "__main__":
+    sys.exit(serve_main())

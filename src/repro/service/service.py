@@ -1,0 +1,306 @@
+"""The queue-driven job service: admission, workers, coalesced LLM traffic.
+
+:class:`JobService` is the long-running front door over the existing
+engine.  It owns one shared :class:`~repro.experiments.EvaluationContext`
+(kernel, extractor, corpus built once and shared read-only), one backend —
+typically the context's analyst pool — and one
+:class:`~repro.llm.BatchCoalescer` in front of it.  Every submitted
+:class:`~repro.service.jobs.Job` runs on a service worker thread; each
+job's LLM traffic goes through a per-job
+:class:`~repro.llm.CoalescingBackend` handle stamped with the job's tenant
+(budget accounting) and job id (statistics), so concurrent jobs' wavefronts
+merge into single ``complete_batch`` calls per pool member while per-job
+and per-tenant accounting stay exact.
+
+Admission is explicit and typed: worker threads are *admitted* (not leased)
+from a :class:`~repro.engine.GlobalWorkerBudget` at construction, a full
+queue refuses with :class:`~repro.errors.ServiceSaturated`, and tenant
+exhaustion surfaces as :class:`~repro.errors.TenantBudgetExceeded` from the
+job that overran.
+
+Determinism (rule 8, DESIGN.md): with one job in flight the service flips
+the coalescer eager, so each submission flushes inline and alone — the
+backend sees exactly the CLI path's batch sequence, and the job's output is
+byte-identical to the CLI run.  With many jobs in flight, merging changes
+round-trip counts only, never completions (backends are pure functions of
+the prompt), so every job's output is *still* byte-identical to its solo
+run — coalescing is a throughput optimization, not a semantic one.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from ..engine import ExecutionEngine, GlobalWorkerBudget
+from ..errors import ServiceSaturated
+from ..experiments.config import ExperimentConfig
+from ..experiments.context import EvaluationContext
+from ..kernel import KernelCodebase
+from ..llm import BatchCoalescer, CoalescingBackend, LLMBackend
+from .jobs import Job, JobEvent, JobHandle, JobResult
+
+
+class JobService:
+    """Runs many concurrent pipeline jobs over one shared, coalesced backend."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        *,
+        workers: int = 2,
+        max_pending: int | None = None,
+        coalesce: bool = True,
+        window: float = 0.01,
+        max_batch: int = 64,
+        engine_jobs: int = 1,
+        executor: str = "thread",
+        tenant_budgets: dict[str, int] | None = None,
+        backend: LLMBackend | None = None,
+        budget: GlobalWorkerBudget | None = None,
+        kernel: KernelCodebase | None = None,
+    ):
+        self.context = EvaluationContext(config, kernel)
+        inner = backend if backend is not None else self.context.build_analysis_backend()
+        # Experiments run inside jobs must share the service's front door,
+        # not build private analysts.
+        self.context.analysis_backend = inner
+        self.backend = inner
+        #: ``coalesce=False`` still routes through a coalescer — in drain
+        #: mode, where every submission flushes inline and alone.  That
+        #: keeps tenant budgets, admission errors and statistics identical
+        #: between the two modes; only the merging (and hence the backend
+        #: round-trip count) differs, which is exactly what the benchmark
+        #: wants to isolate.
+        self.coalescer = BatchCoalescer(
+            inner, window=window, max_batch=max_batch, drain=not coalesce
+        )
+        for tenant, limit in (tenant_budgets or {}).items():
+            self.coalescer.set_tenant_budget(tenant, limit)
+        self.engine_jobs = max(1, engine_jobs)
+        self.executor = executor
+        self.max_pending = max_pending
+        # Serving threads are admitted, not silently degraded: a host whose
+        # worker budget cannot fund even one serving thread should refuse
+        # loudly (ServiceSaturated) rather than run a zero-throughput
+        # service.  Serving threads spend their lives blocked on coalescer
+        # events, so the service defaults to its own budget sized to
+        # ``workers`` instead of competing with compute pools for the
+        # CPU-count default.
+        self._budget = budget or GlobalWorkerBudget(limit=workers)
+        self._granted = self._budget.admit(workers, required=1)
+        self.workers = self._granted
+        self._queue: queue.Queue[tuple[str, Job, JobHandle] | None] = queue.Queue()
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._running = 0
+        self._submitted = 0
+        self._closed = False
+        self._handles: dict[str, JobHandle] = {}
+        self._threads = [
+            threading.Thread(target=self._worker_loop, name=f"job-worker-{index}", daemon=True)
+            for index in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._sync_load()
+
+    # -------------------------------------------------------------- admission
+    def submit(self, job: Job) -> JobHandle:
+        """Admit one job; returns its handle immediately.
+
+        Raises :class:`~repro.errors.ServiceSaturated` when the service is
+        closed or ``max_pending`` jobs are already queued or running.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceSaturated("job service is closed")
+            if self.max_pending is not None and self._pending >= self.max_pending:
+                raise ServiceSaturated(
+                    f"job queue full: {self._pending} jobs pending, limit {self.max_pending}",
+                    limit=self.max_pending,
+                    pending=self._pending,
+                )
+            self._submitted += 1
+            self._pending += 1
+            job_id = f"job-{self._submitted:04d}"
+        handle = JobHandle(job_id, job)
+        self._handles[job_id] = handle
+        self._queue.put((job_id, job, handle))
+        return handle
+
+    def submit_all(self, jobs: "list[Job]") -> "list[JobHandle]":
+        """Admit several jobs in order (all-or-nothing is NOT implied)."""
+        return [self.submit(job) for job in jobs]
+
+    def _sync_load(self) -> None:
+        """Propagate the in-flight job count to the coalescer's heuristics.
+
+        With ≤1 job running the coalescer goes eager (inline, solo flushes:
+        the CLI-identical schedule); with more, the running count becomes
+        the expected-clients hint so lock-stepped wavefronts flush as soon
+        as every active job has submitted, not after the full window.
+        """
+        with self._lock:
+            running = self._running
+        self.coalescer.set_expected(running)
+        self.coalescer.set_eager(running <= 1)
+
+    # ---------------------------------------------------------------- workers
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            job_id, job, handle = item
+            with self._lock:
+                self._running += 1
+            self._sync_load()
+            started = time.perf_counter()
+            job_backend = CoalescingBackend(
+                self.coalescer, tenant=job.tenant, client=job_id
+            )
+            job_engine = ExecutionEngine(jobs=self.engine_jobs, kind=self.executor)
+            result = JobResult(
+                job_id=job_id, label=job.describe(), kind=job.kind, tenant=job.tenant
+            )
+
+            def emit(stage: str, detail: str) -> None:
+                event = JobEvent(job_id, stage, detail, time.perf_counter() - started)
+                result.events.append(event)
+                handle._emit(event)
+
+            try:
+                result.text = self._run_job(job, job_backend, job_engine, emit)
+            except BaseException as error:  # noqa: BLE001 - delivered via the handle
+                result.error = error
+            result.duration = time.perf_counter() - started
+            result.queries = job_backend.usage.queries
+            result.cache = job_engine.cache_stats()
+            client = self.coalescer.client_stats(job_id)
+            result.coalescing = {
+                "queries_saved_by_coalescing": client["queries_saved_by_coalescing"],
+                "submissions": client["submissions"],
+                "requests": client["requests"],
+                "flushes_joined": client["flushes_joined"],
+                "by_kind": self.coalescer.stats()["by_kind"],
+            }
+            with self._lock:
+                self._running -= 1
+                self._pending -= 1
+            self._sync_load()
+            handle._finish(result)
+
+    def _run_job(self, job: Job, backend: LLMBackend, engine: ExecutionEngine, emit) -> str:
+        """Dispatch one job to its pipeline; returns the rendered text."""
+        if job.kind in ("generation", "repair"):
+            return self._run_generation(job, backend, engine, emit)
+        if job.kind == "fuzz":
+            return self._run_fuzz(job, emit)
+        return self._run_experiment(job, backend, engine, emit)
+
+    def _run_generation(self, job: Job, backend, engine, emit) -> str:
+        # Repair jobs are generation jobs that lean on the repair stage:
+        # they default to the transactional protocol (one routed batch per
+        # round) unless the job pins a mode.
+        repair_mode = job.repair_mode or ("transactional" if job.kind == "repair" else None)
+        gpt = self.context.kernelgpt.clone(backend=backend, engine=engine)
+        handlers = job.handlers or tuple(self.context.selection.all_handlers)
+        blocks: list[str] = []
+        for handler in handlers:
+            generated = gpt.generate_for_handler(handler, engine=engine, repair_mode=repair_mode)
+            emit(
+                "handler",
+                f"{handler} valid={generated.valid} syscalls={generated.syscall_count} "
+                f"repaired={generated.repaired}",
+            )
+            header = (
+                f"== {handler} (valid={generated.valid}, "
+                f"syscalls={generated.syscall_count}, repaired={generated.repaired})"
+            )
+            if job.kind == "repair":
+                header += (
+                    f" [mode={generated.repair_mode} rounds={generated.repair_rounds_used}"
+                    f" repair_queries={generated.repair_queries}"
+                    f" repair_llm_calls={generated.repair_llm_calls}]"
+                )
+            blocks.append(f"{header}\n{generated.suite_text()}")
+        return "\n".join(blocks)
+
+    def _run_fuzz(self, job: Job, emit) -> str:
+        from ..fuzzer import run_campaign
+
+        if job.suite == "syzkaller":
+            suite = self.context.syzkaller_corpus.flatten()
+        else:
+            generated = self.context.kernelgpt.generate_for_handler(job.suite)
+            suite = generated.suite
+        emit("suite", f"{suite.name} syscalls={len(suite)}")
+        campaign = run_campaign(self.context.kernel, suite, job.seed, job.budget_programs)
+        emit("campaign", f"programs={campaign.executed_programs}")
+        return (
+            f"fuzz {suite.name} seed={job.seed} programs={campaign.executed_programs} "
+            f"coverage={campaign.coverage_count} crashes={campaign.unique_crashes} "
+            f"corpus={campaign.corpus_size}\n"
+        )
+
+    def _run_experiment(self, job: Job, backend, engine, emit) -> str:
+        from ..experiments.runner import run_experiment
+
+        if not job.experiment:
+            raise ValueError("experiment jobs need Job.experiment set")
+        # A fresh context per experiment job, sharing the service kernel but
+        # carrying the job's backend/engine: experiment artifacts (the
+        # generation run, baselines) are then attributed to the job's tenant
+        # and coalesced with other jobs' traffic.
+        ctx = EvaluationContext(
+            self.context.config,
+            self.context.kernel,
+            engine=engine,
+            analysis_backend=backend,
+        )
+        table = run_experiment(job.experiment, ctx)
+        emit("experiment", job.experiment)
+        # The CLI writes ``render() + "\n"`` per experiment file; matching
+        # it exactly is what lets CI diff service output against CLI output.
+        return table.render() + "\n"
+
+    # --------------------------------------------------------------- lifecycle
+    def stats(self) -> dict:
+        """Service-level accounting: load, budget, coalescer, tenants."""
+        with self._lock:
+            load = {
+                "workers": self.workers,
+                "pending": self._pending,
+                "running": self._running,
+                "submitted": self._submitted,
+            }
+        return {
+            **load,
+            "budget": self._budget.stats(),
+            "coalescer": self.coalescer.stats(),
+            "tenants": self.coalescer.tenant_usage(),
+        }
+
+    def close(self) -> None:
+        """Stop accepting work, drain the workers, release the budget."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self.coalescer.close()
+        self._budget.release(self._granted)
+
+    def __enter__(self) -> "JobService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["JobService"]
