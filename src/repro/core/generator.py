@@ -247,6 +247,28 @@ class KernelGPT:
             clone.repair_route = repair_route
         return clone
 
+    def store_profile(self) -> tuple[str, ...]:
+        """Everything that shapes this generator's output, as stable strings.
+
+        The persistent-session key material (:func:`repro.store.session_key`):
+        the kernel's coverage-space digest pins the substrate, the backend's
+        store profile pins the analyst, and the remaining knobs pin the
+        pipeline configuration.  Anything process-local (engine, extractor
+        instance) is deliberately absent — the extractor is a pure function
+        of the kernel, which the digest already covers.
+        """
+        return (
+            self.kernel.coverage_space().digest,
+            self.backend.store_profile(),
+            self.backend_route or "",
+            self.repair_route or "",
+            "batched" if self.batch_queries else "per-query",
+            str(self.max_iterations),
+            str(self.repair_rounds),
+            "repair" if self.repair_enabled else "no-repair",
+            type(self.prompts).__name__,
+        )
+
     def __getstate__(self) -> dict:
         """Generators are picklable minus the engine.
 
@@ -305,9 +327,12 @@ class KernelGPT:
         mode = repair_mode or self.repair_mode
         if engine is None:
             return run_session(self, handler_name, repair_mode=mode)
-        key = (engine.token(self), "iterative", mode, handler_name)
-        return engine.result_cache.get_or_compute(
-            key, lambda: run_session(self, handler_name, engine=engine, repair_mode=mode)
+        return engine.cached_session(
+            self,
+            "iterative",
+            mode,
+            handler_name,
+            lambda: run_session(self, handler_name, engine=engine, repair_mode=mode),
         )
 
     def generate_for_handlers(
@@ -399,9 +424,12 @@ class KernelGPT:
         mode = repair_mode or self.repair_mode
         if engine is None:
             return self._all_in_one(handler_name, engine, repair_mode=mode)
-        key = (engine.token(self), "all-in-one", mode, handler_name)
-        return engine.result_cache.get_or_compute(
-            key, lambda: self._all_in_one(handler_name, engine, repair_mode=mode)
+        return engine.cached_session(
+            self,
+            "all-in-one",
+            mode,
+            handler_name,
+            lambda: self._all_in_one(handler_name, engine, repair_mode=mode),
         )
 
     def _all_in_one(

@@ -41,9 +41,16 @@ class ExecutionEngine:
         kind: str = "thread",
         executor: Executor | None = None,
         budget: "GlobalWorkerBudget | None" = None,
+        store: "object | None" = None,
     ):
         self.jobs = max(1, jobs)
         self.executor = executor or create_executor(self.jobs, kind, budget=budget)
+        #: Optional :class:`~repro.store.StoreBinding`: the persistent
+        #: complement to the memo caches.  The caches stay the first line
+        #: (in-memory, single-flight); the store is consulted *inside* their
+        #: compute callbacks — a memo miss hydrates from disk before paying
+        #: for recomputation, and fresh computations are written through.
+        self.store = store
         self.extract_cache = MemoCache("extract")
         self.llm_cache = MemoCache("llm")
         #: Whole generation sessions, keyed by (generator, mode, handler) —
@@ -118,11 +125,7 @@ class ExecutionEngine:
         Single-flight computation keeps the backend's usage meter at exactly
         one recorded query per distinct prompt, independent of ``jobs``.
         """
-        request = LLMRequest(prompt=prompt, route=route)
-        return self.llm_cache.get_or_compute(
-            self._llm_key(backend, request),
-            lambda: backend.complete_batch((request,))[0],
-        )
+        return self.cached_query_batch(backend, (LLMRequest(prompt=prompt, route=route),))[0]
 
     def cached_query_batch(self, backend, requests):
         """Memoized ``backend.complete_batch(requests)``, results in request order.
@@ -133,29 +136,61 @@ class ExecutionEngine:
         misses this batch owns are forwarded to the backend as one
         ``complete_batch`` call, so batch granularity — the backend's atomic
         budget reservation and per-batch metering — survives memoization.
+        With a store bound, owned misses first hydrate from disk and only
+        the remainder reaches the backend (still as one batch).
         """
         normalized = [LLMRequest.of(item) for item in requests]
         keys = [self._llm_key(backend, request) for request in normalized]
 
         def compute_many(owned_positions: list[int]):
-            return backend.complete_batch([normalized[position] for position in owned_positions])
+            owned = [normalized[position] for position in owned_positions]
+            if self.store is None:
+                return backend.complete_batch(owned)
+            return self.store.complete_batch_through(backend, owned)
 
         return self.llm_cache.get_or_compute_many(keys, compute_many)
 
     def cached_extract(self, extractor, identifier: str) -> str:
         """Memoized ``extractor.extract_code(identifier)``."""
         key = (self.token(extractor), identifier)
+        if self.store is None:
+            return self.extract_cache.get_or_compute(
+                key, lambda: extractor.extract_code(identifier)
+            )
         return self.extract_cache.get_or_compute(
-            key, lambda: extractor.extract_code(identifier)
+            key, lambda: self.store.extract_through(extractor, identifier)
+        )
+
+    def cached_session(self, generator, flavor: str, mode: str, handler_name: str, compute):
+        """Memoized whole generation session (single-flight, store-hydrated).
+
+        The result-cache key stays engine-local (participant token), so two
+        generators sharing one engine keep separate memo namespaces; the
+        store key underneath is cross-run canonical
+        (:func:`repro.store.session_key`), so a warm engine hydrates
+        sessions recorded by an earlier process — the service-restart and
+        frozen-replay path.
+        """
+        key = (self.token(generator), flavor, mode, handler_name)
+        if self.store is None:
+            return self.result_cache.get_or_compute(key, compute)
+        return self.result_cache.get_or_compute(
+            key,
+            lambda: self.store.session_through(generator, flavor, mode, handler_name, compute),
         )
 
     # --------------------------------------------------------------- reporting
     def cache_stats(self) -> dict[str, dict]:
-        return {
+        stats = {
             "extract": self.extract_cache.stats.as_dict(),
             "llm": self.llm_cache.stats.as_dict(),
             "session": self.result_cache.stats.as_dict(),
         }
+        if self.store is not None:
+            # ``store:<kind>`` rows share the CacheStats dict shape, so the
+            # --profile renderers (runner and serve) print them unchanged.
+            stats.update(self.store.stats())
+        return stats
 
     def stats(self) -> dict:
         return {

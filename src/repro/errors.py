@@ -92,6 +92,56 @@ class ExperimentError(ReproError):
     """Raised when an experiment harness is misconfigured."""
 
 
+class StoreError(ReproError):
+    """Base class for persistent artifact-store failures (:mod:`repro.store`)."""
+
+
+class StoreCorruption(StoreError):
+    """Raised when stored bytes fail verification against their digest.
+
+    The store's integrity contract: a load either returns exactly the bytes
+    that were saved, or raises this — never silently wrong content.  Raised
+    for blobs whose content no longer hashes to their name (bit flips,
+    truncation), manifest lines whose check digest does not match
+    (hand-edits, torn writes), manifest entries naming a missing blob, and
+    lockfiles whose whole-file checksum fails.
+
+    Attributes
+    ----------
+    path:
+        Filesystem path of the corrupt artifact, when known.
+    key:
+        Canonical store key whose load surfaced the corruption, when known.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None, key: str | None = None):
+        self.path = path
+        self.key = key
+        super().__init__(message)
+
+
+class FrozenStoreMiss(StoreError):
+    """Raised when a frozen (lockfile-pinned) run needs an artifact it lacks.
+
+    Frozen mode trades liveness for reproducibility: an artifact absent from
+    the lockfile must fail loudly rather than fall through to a live LLM
+    call — a silent recomputation would make the "byte-reproducible rerun"
+    claim unverifiable.
+
+    Attributes
+    ----------
+    key:
+        Canonical store key of the missing artifact, when known.
+    kind:
+        Artifact kind (``llm``/``session``/…), when known.
+    """
+
+    def __init__(self, message: str, *, key: str | None = None, kind: str | None = None):
+        self.key = key
+        self.kind = kind
+        super().__init__(message)
+
+
 class AdmissionError(ReproError):
     """Base class for serving-layer admission-control failures.
 

@@ -185,6 +185,7 @@ def shared_context(
     pool_schedule: str | None = None,
     route_table: tuple[tuple[str, str], ...] | None = None,
     repair_mode: str | None = None,
+    store_spec: tuple[str, str | None] | None = None,
 ) -> EvaluationContext:
     """Process-wide cached context (benchmark modules, process-pool workers).
 
@@ -192,7 +193,12 @@ def shared_context(
     carry the runner's ``--backends`` / ``--pool-schedule`` / ``--route`` /
     ``--repair-mode`` overrides into worker processes, which rebuild their
     context from these plain strings (contexts hold locks and engines that
-    cannot cross process boundaries).
+    cannot cross process boundaries).  ``store_spec`` is the ``--store`` /
+    ``--frozen`` pair, ``(store_dir, lockfile_or_None)``: the worker binds a
+    serial store-backed engine onto the shared on-disk store (writes merge
+    through the store's own locking), and a lockfile additionally pins the
+    loads and swaps the analyst for the raising
+    :class:`~repro.store.FrozenBackend`.
     """
     from . import config as config_module
 
@@ -205,7 +211,20 @@ def shared_context(
         configuration = configuration.with_overrides(route_table=tuple(route_table))
     if repair_mode:
         configuration = configuration.with_overrides(repair_mode=repair_mode)
-    return EvaluationContext(configuration)
+    context_engine = None
+    if store_spec is not None:
+        from ..store import ArtifactStore, FrozenLock, StoreBinding
+
+        store_dir, frozen_path = store_spec
+        frozen = FrozenLock.load(frozen_path) if frozen_path else None
+        binding = StoreBinding(ArtifactStore(store_dir), frozen=frozen)
+        context_engine = ExecutionEngine(jobs=1, store=binding)
+    context = EvaluationContext(configuration, engine=context_engine)
+    if store_spec is not None and store_spec[1]:
+        from ..store import FrozenBackend
+
+        context.analysis_backend = FrozenBackend(context.build_analysis_backend())
+    return context
 
 
 __all__ = ["EvaluationContext", "shared_context"]

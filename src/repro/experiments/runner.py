@@ -68,6 +68,7 @@ def run_experiment_for_preset(
     pool_schedule: str | None = None,
     route_table: tuple[tuple[str, str], ...] | None = None,
     repair_mode: str | None = None,
+    store_spec: tuple[str, str | None] | None = None,
 ) -> TableResult:
     """Run one experiment against a worker-local context for ``preset``.
 
@@ -79,13 +80,17 @@ def run_experiment_for_preset(
     rendered result is byte-identical to the shared-memory path.
     ``backends`` forwards the ``--backends`` profile line-up,
     ``pool_schedule`` the ``--pool-schedule`` placement policy,
-    ``route_table`` the ``--route`` kind-route table and ``repair_mode``
-    the ``--repair-mode`` protocol choice.
+    ``route_table`` the ``--route`` kind-route table, ``repair_mode``
+    the ``--repair-mode`` protocol choice and ``store_spec`` the
+    ``--store``/``--frozen`` artifact-store binding (workers share the
+    on-disk store; the parent's end-of-run ``--freeze`` snapshot therefore
+    covers their artifacts too).
     """
     from .context import shared_context
 
     return run_experiment(
-        name, shared_context(preset, backends, pool_schedule, route_table, repair_mode)
+        name,
+        shared_context(preset, backends, pool_schedule, route_table, repair_mode, store_spec),
     )
 
 
@@ -95,6 +100,7 @@ def run_table1_for_preset(
     pool_schedule: str | None = None,
     route_table: tuple[tuple[str, str], ...] | None = None,
     repair_mode: str | None = None,
+    store_spec: tuple[str, str | None] | None = None,
 ) -> "tuple[TableResult, str]":
     """table1 plus its §5.1.3 correctness audit as one process-pool payload.
 
@@ -109,7 +115,7 @@ def run_table1_for_preset(
     """
     from .context import shared_context
 
-    ctx = shared_context(preset, backends, pool_schedule, route_table, repair_mode)
+    ctx = shared_context(preset, backends, pool_schedule, route_table, repair_mode, store_spec)
     return run_table1(ctx), run_correctness_audit(ctx).render()
 
 
@@ -178,6 +184,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="kind-route table entry, e.g. --route repair=gpt-3.5: wraps "
                              "the analyst in a BackendPool and sends every prompt of "
                              "KIND to the named capability profile (repeatable)")
+    parser.add_argument("--store", type=Path, default=None, metavar="DIR",
+                        help="persistent artifact store: hydrate LLM/extract/session "
+                             "caches from DIR and write fresh computations through")
+    parser.add_argument("--freeze", type=Path, default=None, metavar="LOCKFILE",
+                        help="after a successful run, snapshot the store manifest to "
+                             "LOCKFILE so --frozen can replay it (requires --store)")
+    parser.add_argument("--frozen", type=Path, default=None, metavar="LOCKFILE",
+                        help="replay a frozen run: resolve every artifact through "
+                             "LOCKFILE's pins, refuse live backend traffic with a "
+                             "typed FrozenStoreMiss (requires --store)")
     parser.add_argument("--profile", action="store_true",
                         help="print per-stage timings and cache statistics at the end")
     args = parser.parse_args(argv)
@@ -185,6 +201,11 @@ def main(argv: list[str] | None = None) -> int:
     backends = tuple(part.strip() for part in args.backends.split(",") if part.strip()) \
         if args.backends else None
     route_table = parse_route_table(args.route) if args.route else None
+    if (args.freeze or args.frozen) and not args.store:
+        raise SystemExit("--freeze/--frozen require --store DIR")
+    if args.freeze and args.frozen:
+        raise SystemExit("--freeze and --frozen are mutually exclusive "
+                         "(record first, then replay)")
     config = paper() if args.preset == "paper" else quick()
     if backends:
         config = config.with_overrides(llm_backends=backends)
@@ -194,8 +215,20 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_overrides(repair_mode=args.repair_mode)
     if route_table:
         config = config.with_overrides(route_table=route_table)
-    engine = ExecutionEngine(jobs=args.jobs, kind=args.executor)
+    store = None
+    store_binding = None
+    if args.store is not None:
+        from ..store import ArtifactStore, FrozenBackend, FrozenLock, StoreBinding
+
+        store = ArtifactStore(args.store)
+        frozen_lock = FrozenLock.load(args.frozen) if args.frozen else None
+        store_binding = StoreBinding(store, frozen=frozen_lock)
+    engine = ExecutionEngine(jobs=args.jobs, kind=args.executor, store=store_binding)
     ctx = EvaluationContext(config, engine=engine)
+    if args.frozen:
+        # Belt and suspenders: even if a code path slips past the store
+        # binding, the frozen analyst raises instead of issuing traffic.
+        ctx.analysis_backend = FrozenBackend(ctx.build_analysis_backend())
     wanted = args.experiment or ["all"]
     names = sorted(EXPERIMENTS) if "all" in wanted else wanted
 
@@ -239,7 +272,12 @@ def main(argv: list[str] | None = None) -> int:
         if engine.shares_memory:
             tasks = [TaskSpec(key=name, fn=run_experiment, args=(name, ctx)) for name in names]
         else:
-            overrides = (backends, args.pool_schedule, route_table, args.repair_mode)
+            store_spec = (
+                (str(args.store), str(args.frozen) if args.frozen else None)
+                if args.store is not None
+                else None
+            )
+            overrides = (backends, args.pool_schedule, route_table, args.repair_mode, store_spec)
             tasks = [
                 TaskSpec(
                     key=name, fn=run_table1_for_preset,
@@ -264,6 +302,18 @@ def main(argv: list[str] | None = None) -> int:
 
     for name, error in failures:
         print(f"[{name}] FAILED: {error!r}\n", file=sys.stderr)
+
+    if args.freeze is not None and not failures:
+        # Snapshot taken after every experiment (and, in process mode, every
+        # worker's write — they append to the shared on-disk manifest) so
+        # the lockfile pins the complete artifact set of this run.
+        from ..store import FrozenLock
+
+        lock = FrozenLock.freeze(store)
+        lock.write(args.freeze)
+        counts = ", ".join(f"{kind}={count}" for kind, count in lock.kind_counts().items())
+        print(f"[store] froze {len(lock)} artifact(s) to {args.freeze} ({counts})",
+              file=sys.stderr)
 
     if args.profile:
         print(engine.profile.render())

@@ -68,6 +68,16 @@ class KernelExtractor:
         self._handlers: dict[str, HandlerInfo] = {}
         self._index()
 
+    def store_profile(self) -> str:
+        """Identity for persistent cache keys (repro.store).
+
+        Extraction results are pure functions of the codebase's source
+        text; the coverage-space digest enumerates every block label in it,
+        so it changes whenever the substrate does — two differently-built
+        kernels never share extraction artifacts across runs.
+        """
+        return f"extract:{self._codebase.coverage_space().digest}"
+
     # ------------------------------------------------------------- indexing
     def _index(self) -> None:
         for path, text in self._codebase.source_files().items():

@@ -269,6 +269,23 @@ class LLMBackend(abc.ABC):
         """Send one prompt: a thin one-element shim over :meth:`complete_batch`."""
         return self.complete_batch((LLMRequest.of(prompt),))[0]
 
+    def store_profile(self) -> str:
+        """A stable identity string for persistent cache keys (repro.store).
+
+        Unlike the engine's in-memory participant tokens — which are
+        process-local by design — the store profile must identify "the same
+        backend" across interpreter runs: two runs constructing an
+        equivalently-configured backend derive the same profile, and two
+        backends that could ever answer the same prompt differently derive
+        different ones.  The base implementation uses the model string;
+        backends whose completions depend on more configuration than the
+        model name (the oracle's capability profile, a pool's routing
+        table, replay scripts) override this, and transparent wrappers
+        (recording, coalescing, frozen) delegate to the backend they wrap
+        so the wrapper never splits the key space.
+        """
+        return self.model
+
     @abc.abstractmethod
     def complete_batch(self, requests: "Sequence[LLMRequest | Prompt]") -> list[Completion]:
         """Serve a batch of requests, returning completions in request order.

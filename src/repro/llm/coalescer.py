@@ -443,6 +443,15 @@ class CoalescingBackend(LLMBackend):
         self.tenant = tenant
         self.client = client
 
+    def store_profile(self) -> str:
+        """Delegate to the wrapped backend: coalescing never changes completions.
+
+        This is what lets a ``serve --store`` warm cache interoperate with
+        the batch CLI's: both derive keys from the underlying analyst, so
+        artifacts recorded by one are hits for the other.
+        """
+        return self.inner.store_profile()
+
     def complete_batch(self, requests: "Sequence[LLMRequest | Prompt]") -> list[Completion]:
         normalized = [LLMRequest.of(item) for item in requests]
         if not normalized:

@@ -16,6 +16,7 @@ as UNKNOWN.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import re
 
@@ -75,6 +76,17 @@ class OracleBackend(LLMBackend):
     def __init__(self, profile: CapabilityProfile = GPT4_PROFILE, *, query_budget: int | None = None):
         super().__init__(model=profile.name, query_budget=query_budget)
         self.profile = profile
+
+    def store_profile(self) -> str:
+        """Identity for persistent cache keys: the full capability profile.
+
+        The model name alone is not enough — a custom-knobbed profile named
+        ``gpt-4`` answers differently from the stock one — so the digest
+        covers every knob (``repr`` of a frozen dataclass enumerates fields
+        in declaration order, deterministically).
+        """
+        knobs = hashlib.sha256(repr(self.profile).encode("utf-8")).hexdigest()[:16]
+        return f"oracle:{self.profile.name}:{knobs}"
 
     # ------------------------------------------------------------------ rng
     def _rng(self, *key: str) -> random.Random:

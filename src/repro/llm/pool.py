@@ -83,6 +83,24 @@ class BackendPool(LLMBackend):
         self._schedule_lock = threading.Lock()
 
     # ---------------------------------------------------------------- routing
+    def store_profile(self) -> str:
+        """Identity for persistent cache keys: the full routing configuration.
+
+        Covers each member's own store profile plus the route table, default
+        member and schedule — everything that decides *which* member (and
+        therefore which completion) a routed request reaches.  Two pools
+        with the same member names but different capability knobs, or the
+        same members but different routes, never share artifacts.
+        """
+        member_parts = ",".join(
+            f"{name}={self.members[name].store_profile()}" for name in sorted(self.members)
+        )
+        route_parts = ",".join(f"{tag}->{member}" for tag, member in sorted(self.routes.items()))
+        return (
+            f"pool({member_parts};routes={route_parts};"
+            f"default={self.default};schedule={self.schedule})"
+        )
+
     def tagged_member(self, request: "LLMRequest | Prompt") -> str | None:
         """The member a routing tag selects, or ``None`` for untagged requests."""
         request = LLMRequest.of(request)

@@ -28,6 +28,24 @@ ask" order to agree on).  Recording appends under a lock, and process
 workers return their recorded exchanges through task outcomes which the
 parent merges at join (:meth:`RecordingBackend.merge_exchanges`), in
 submission order, so the merged transcript is schedule-independent too.
+
+**Interaction with the artifact store** (repro.store): store hydration
+happens *above* the backend — the engine's
+:class:`~repro.store.StoreBinding` serves stored completions without
+calling ``complete_batch`` — so a hydrated reply advances **no** occurrence
+counter, records **no** exchange, and meters **no** usage.  A warm start
+therefore cannot double-count usage: the backend's
+:class:`~repro.llm.UsageMeter` reflects real traffic only, while
+run-attributed totals (``GenerationRun.usage_summary``) travel inside the
+stored session artifacts and stay byte-identical.  The flip side mirrors
+the worker-local counter contract above: the store pins whichever
+occurrence of a multi-reply sequence was live when the artifact was first
+saved, so a warm rerun replays *that* reply instead of advancing the
+sequence — cross-run multi-reply semantics would need a global "i-th ask"
+order that, exactly as across process shards, does not exist.  Scripts
+that must vary across runs belong outside the store (or under a different
+:meth:`ReplayBackend.store_profile`, which digests the reply tables and so
+already separates differently-scripted backends).
 """
 
 from __future__ import annotations
@@ -116,6 +134,33 @@ class ReplayBackend(LLMBackend):
             return Completion(text=self._default, model=self.model)
         raise LLMProtocolError(f"no scripted reply for prompt kind {prompt.kind!r}")
 
+    def store_profile(self) -> str:
+        """Identity for persistent cache keys: a digest of the reply tables.
+
+        Covers the scripted sequences, kind-level replies and the default —
+        differently-scripted replay backends never share stored artifacts.
+        Occurrence *counters* are deliberately excluded: they are run-local
+        mutable state (worker-local by the same contract as pickling), and
+        including them would make every ask rotate the key space.  The
+        consequence, documented in the module docstring, is that the store
+        pins the first-saved occurrence of a multi-reply sequence.
+        """
+        digest = hashlib.sha256()
+        for kind in sorted(self._kind_replies):
+            digest.update(f"kind:{kind}".encode("utf-8"))
+            for text in self._kind_replies[kind]:
+                digest.update(text.encode("utf-8"))
+                digest.update(b"\x00")
+        for key in sorted(self._scripted):
+            digest.update(f"script:{key}".encode("utf-8"))
+            for text in self._scripted[key]:
+                digest.update(text.encode("utf-8"))
+                digest.update(b"\x00")
+        if self._default is not None:
+            digest.update(b"default:")
+            digest.update(self._default.encode("utf-8"))
+        return f"replay:{digest.hexdigest()[:16]}"
+
     def __getstate__(self) -> dict:
         state = super().__getstate__()
         state.pop("_replay_lock", None)
@@ -160,6 +205,16 @@ class RecordingBackend(LLMBackend):
         request, in request order.
         """
         return self._serve_batch(requests, complete_many=self._complete_and_record)
+
+    def store_profile(self) -> str:
+        """Delegate to the wrapped backend: recording never changes completions.
+
+        Artifacts stored through a recording wrapper are hits for the bare
+        backend (and vice versa) — and store hydration bypasses the wrapper
+        entirely, so hydrated replies are never re-recorded into the
+        transcript (see the module docstring).
+        """
+        return self._inner.store_profile()
 
     def _complete_and_record(self, requests: list[LLMRequest]) -> list[Completion]:
         completions = self._inner.complete_batch(requests)

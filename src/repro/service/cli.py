@@ -83,6 +83,10 @@ def serve_main(argv: list[str] | None = None) -> int:
                         help="cap TENANT at N distinct backend queries (repeatable)")
     parser.add_argument("--max-pending", type=int, default=None,
                         help="refuse submissions beyond this many queued+running jobs")
+    parser.add_argument("--store", type=Path, default=None, metavar="DIR",
+                        help="persistent artifact store: warm-start job caches from DIR "
+                             "and write fresh artifacts through, so warm caches "
+                             "survive service restarts")
     parser.add_argument("--output", type=Path, default=None,
                         help="directory for experiment-job result files (CLI-identical bytes)")
     parser.add_argument("--profile", action="store_true",
@@ -108,6 +112,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         engine_jobs=args.engine_jobs,
         executor=args.executor,
         tenant_budgets=tenant_budgets,
+        store=args.store,
     )
     failures = 0
     try:

@@ -60,8 +60,22 @@ class JobService:
         backend: LLMBackend | None = None,
         budget: GlobalWorkerBudget | None = None,
         kernel: KernelCodebase | None = None,
+        store: "object | None" = None,
     ):
-        self.context = EvaluationContext(config, kernel)
+        #: Persistent artifact store (a path or an ArtifactStore): the
+        #: service-restart warm cache.  The shared context engine and every
+        #: per-job engine get their *own* StoreBinding over the one store,
+        #: so JobResult hit rates are attributable per job while artifacts
+        #: written by one job (or a previous service process) hydrate the
+        #: next.
+        self._store = None
+        context_engine = None
+        if store is not None:
+            from ..store import ArtifactStore, StoreBinding
+
+            self._store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+            context_engine = ExecutionEngine(jobs=1, store=StoreBinding(self._store))
+        self.context = EvaluationContext(config, kernel, engine=context_engine)
         inner = backend if backend is not None else self.context.build_analysis_backend()
         # Experiments run inside jobs must share the service's front door,
         # not build private analysts.
@@ -161,7 +175,12 @@ class JobService:
             job_backend = CoalescingBackend(
                 self.coalescer, tenant=job.tenant, client=job_id
             )
-            job_engine = ExecutionEngine(jobs=self.engine_jobs, kind=self.executor)
+            job_store = None
+            if self._store is not None:
+                from ..store import StoreBinding
+
+                job_store = StoreBinding(self._store)
+            job_engine = ExecutionEngine(jobs=self.engine_jobs, kind=self.executor, store=job_store)
             result = JobResult(
                 job_id=job_id, label=job.describe(), kind=job.kind, tenant=job.tenant
             )

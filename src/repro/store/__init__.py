@@ -1,0 +1,46 @@
+"""Persistent content-addressed artifact store with frozen-lock replay.
+
+The disk-backed complement to the engine's in-memory memo caches: LLM
+completions, extractor lookups and whole generation sessions are spilled to
+(and hydrated from) a verified content-addressed store, so warm service
+restarts and repeat experiment runs skip recomputation — and a frozen
+lockfile pins a run to exact artifacts for byte-reproducible, zero-traffic
+replay.  See DESIGN.md ("Artifact store") for the key scheme, manifest
+format and determinism rule 9.
+
+Layering: this package sits between :mod:`repro.llm` (whose types it
+serializes) and :mod:`repro.engine` (which consults it); it never imports
+the engine.
+"""
+
+from .binding import FROZEN_STRICT_KINDS, FrozenBackend, StoreBinding
+from .codec import decode_artifact, encode_artifact
+from .keys import (
+    STORE_SCHEMA,
+    StoreKey,
+    backend_profile,
+    extract_key,
+    llm_key,
+    prompt_digest,
+    session_key,
+)
+from .lockfile import LOCKFILE_VERSION, FrozenLock
+from .store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "StoreBinding",
+    "FrozenBackend",
+    "FrozenLock",
+    "StoreKey",
+    "STORE_SCHEMA",
+    "LOCKFILE_VERSION",
+    "FROZEN_STRICT_KINDS",
+    "backend_profile",
+    "prompt_digest",
+    "llm_key",
+    "extract_key",
+    "session_key",
+    "encode_artifact",
+    "decode_artifact",
+]

@@ -1,0 +1,223 @@
+"""The store's integration surface: what an engine actually talks to.
+
+:class:`StoreBinding` pairs one :class:`~repro.store.ArtifactStore` with
+per-kind hit/miss statistics and an optional
+:class:`~repro.store.FrozenLock`.  Bindings are cheap — the job service
+hands each job engine a fresh binding over the one shared store, so hit
+rates in a :class:`~repro.service.jobs.JobResult` are attributable per job
+while the artifacts themselves are shared.
+
+The engine consults the binding *inside* its single-flight memo computes
+(hydrate-on-demand): a memo hit never touches the disk, a memo miss checks
+the store before computing, and fresh computations are written through.
+That ordering is what keeps warm starts invisible (determinism rule 9):
+hydration changes where a value comes from, never what it is.
+
+**Frozen semantics.**  With a lock installed, loads resolve through the
+lock's pinned digests (the live manifest is bypassed), saves are no-ops,
+and a missing artifact of a *strict* kind — one that embodies backend
+traffic — raises :class:`~repro.errors.FrozenStoreMiss` instead of falling
+through to computation.  ``extract`` is deliberately non-strict: extractor
+lookups are pure local functions of the kernel substrate, so recomputing
+one costs no backend traffic and cannot change bytes.
+
+:class:`FrozenBackend` is the belt to that suspenders: a wrapper installed
+as the analyst during frozen runs whose ``complete_batch`` always raises.
+If any code path slips past the binding (a bug, a new unstored call site),
+the run fails loudly instead of silently issuing LLM traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from ..errors import FrozenStoreMiss
+from ..llm import Completion, LLMBackend, LLMRequest, Prompt
+from .codec import decode_artifact
+from .keys import StoreKey, extract_key, llm_key, session_key
+from .lockfile import FrozenLock
+from .store import ArtifactStore
+
+#: Kinds whose artifacts embody backend round-trips: a frozen run must
+#: never recompute them, because recomputation *is* LLM traffic.
+FROZEN_STRICT_KINDS = frozenset({"llm", "session"})
+
+#: Stats rows always present, in reporting order, so profiles line up
+#: across runs whatever kinds actually saw traffic.
+_REPORTED_KINDS = ("llm", "extract", "session")
+
+
+class StoreBinding:
+    """One consumer's handle on a store: loads, write-through, stats."""
+
+    def __init__(self, store: ArtifactStore, *, frozen: FrozenLock | None = None):
+        self.store = store
+        self._frozen = frozen
+        self._stats_lock = threading.Lock()
+        self._hits: dict[str, int] = {}
+        self._misses: dict[str, int] = {}
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen is not None
+
+    # -------------------------------------------------------------- load/save
+    def _count(self, kind: str, *, hit: bool) -> None:
+        with self._stats_lock:
+            bucket = self._hits if hit else self._misses
+            bucket[kind] = bucket.get(kind, 0) + 1
+
+    def load(self, key: StoreKey) -> tuple[bool, object]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a clean miss.
+
+        Frozen mode resolves through the lockfile's pinned digest; a pin
+        that is absent (or whose blob is gone) for a strict kind raises
+        :class:`~repro.errors.FrozenStoreMiss`.
+        """
+        canonical = key.canonical()
+        if self._frozen is not None:
+            digest = self._frozen.digest_for(canonical)
+            payload = self.store.read_blob(digest) if digest is not None else None
+            if payload is None:
+                self._count(key.kind, hit=False)
+                if key.kind in FROZEN_STRICT_KINDS:
+                    raise FrozenStoreMiss(
+                        f"frozen run needs {key.kind} artifact {canonical!r} "
+                        + (
+                            f"but its pinned blob {digest} is missing from the store"
+                            if digest is not None
+                            else "but the lockfile does not pin it"
+                        ),
+                        key=canonical,
+                        kind=key.kind,
+                    )
+                return False, None
+            self._count(key.kind, hit=True)
+            return True, decode_artifact(key.kind, payload, key=canonical)
+        payload = self.store.get_bytes(key)
+        if payload is None:
+            self._count(key.kind, hit=False)
+            return False, None
+        self._count(key.kind, hit=True)
+        return True, decode_artifact(key.kind, payload, key=canonical)
+
+    def save(self, key: StoreKey, value) -> None:
+        """Write-through spill; a no-op in frozen mode (the store is pinned)."""
+        if self._frozen is not None:
+            return
+        self.store.save(key, value)
+
+    # ----------------------------------------------------- engine-facing ops
+    def complete_batch_through(
+        self, backend: LLMBackend, requests: Sequence[LLMRequest]
+    ) -> list[Completion]:
+        """Serve a batch from the store, forwarding only the misses.
+
+        Hits are decoded from stored completions; the misses are forwarded
+        to the backend as **one** ``complete_batch`` call — batch
+        granularity (atomic budget reservation, per-batch metering)
+        survives hydration — and written through.  Because hits never reach
+        the backend, a warm start leaves the backend's
+        :class:`~repro.llm.UsageMeter` and any replay occurrence counters
+        untouched: hydrated traffic cannot double-count usage.
+        """
+        results: list[Completion | None] = [None] * len(requests)
+        miss_positions: list[int] = []
+        miss_keys: list[StoreKey] = []
+        for position, request in enumerate(requests):
+            key = llm_key(backend, request)
+            hit, value = self.load(key)
+            if hit:
+                results[position] = value
+            else:
+                miss_positions.append(position)
+                miss_keys.append(key)
+        if miss_positions:
+            completions = backend.complete_batch(
+                [requests[position] for position in miss_positions]
+            )
+            for key, position, completion in zip(miss_keys, miss_positions, completions):
+                self.save(key, completion)
+                results[position] = completion
+        return results
+
+    def extract_through(self, extractor, identifier: str) -> str:
+        """Extractor lookup through the store (non-strict under freeze)."""
+        key = extract_key(extractor, identifier)
+        hit, value = self.load(key)
+        if hit:
+            return value
+        value = extractor.extract_code(identifier)
+        self.save(key, value)
+        return value
+
+    def session_through(self, generator, flavor: str, mode: str, handler: str, compute):
+        """Whole-session memo through the store."""
+        key = session_key(generator, flavor=flavor, mode=mode, handler=handler)
+        hit, value = self.load(key)
+        if hit:
+            return value
+        value = compute()
+        self.save(key, value)
+        return value
+
+    # -------------------------------------------------------------- reporting
+    def stats(self) -> dict[str, dict]:
+        """Per-kind hit rates, shaped like ``CacheStats.as_dict()`` rows.
+
+        Keyed ``store:<kind>`` so they merge into
+        ``ExecutionEngine.cache_stats()`` and print through the existing
+        ``--profile`` renderers unchanged.
+        """
+        with self._stats_lock:
+            hits = dict(self._hits)
+            misses = dict(self._misses)
+        extra = sorted((set(hits) | set(misses)) - set(_REPORTED_KINDS))
+        report: dict[str, dict] = {}
+        for kind in list(_REPORTED_KINDS) + extra:
+            kind_hits = hits.get(kind, 0)
+            kind_misses = misses.get(kind, 0)
+            calls = kind_hits + kind_misses
+            report[f"store:{kind}"] = {
+                "name": f"store:{kind}",
+                "hits": kind_hits,
+                "misses": kind_misses,
+                "errors": 0,
+                "hit_rate": round(kind_hits / calls, 4) if calls else 0.0,
+            }
+        return report
+
+
+class FrozenBackend(LLMBackend):
+    """An analyst that refuses to analyze: every batch is a typed failure.
+
+    Installed as the analysis backend during ``--frozen`` runs.  Correctly
+    frozen pipelines never reach it (every completion hydrates from the
+    lockfile above the backend), so any call proves live traffic leaked —
+    exactly what the CI smoke job exists to catch.  ``store_profile``
+    delegates to the wrapped analyst so frozen runs derive the *recording*
+    run's canonical keys.
+    """
+
+    def __init__(self, inner: LLMBackend):
+        super().__init__(model=f"frozen({inner.model})")
+        self.inner = inner
+
+    def store_profile(self) -> str:
+        return self.inner.store_profile()
+
+    def complete_batch(self, requests: "Sequence[LLMRequest | Prompt]") -> list[Completion]:
+        normalized = [LLMRequest.of(item) for item in requests]
+        detail = ""
+        if normalized:
+            first = normalized[0].prompt
+            detail = f"; first prompt kind={first.kind!r} subject={first.subject!r}"
+        raise FrozenStoreMiss(
+            f"frozen run issued live backend traffic: {len(normalized)} request(s) "
+            f"reached {self.model!r}{detail}",
+            kind="llm",
+        )
+
+
+__all__ = ["StoreBinding", "FrozenBackend", "FROZEN_STRICT_KINDS"]

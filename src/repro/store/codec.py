@@ -1,0 +1,82 @@
+"""Serialization of artifacts to and from store blobs.
+
+Each kind gets the narrowest stable encoding available: completions are
+canonical JSON (sorted keys, no whitespace variance — byte-identical for
+equal values on every interpreter), extractor results are plain UTF-8, and
+everything else (generation sessions, coverage bitmaps) is pickle at a
+pinned protocol.  A four-byte magic prefix names the encoding so a blob
+reached through the wrong kind fails loudly as :class:`StoreCorruption`
+instead of being misdecoded.
+
+Pickle is not canonical across interpreter runs (set iteration order leaks
+``PYTHONHASHSEED`` into the byte stream), and the store does not pretend it
+is: lookups go canonical key → manifest → digest → blob, so an artifact is
+only ever compared against the digest it was *written* under, never against
+a re-serialization.  Within one run, ``encode(decode(encode(x)))`` is
+byte-stable for every kind, which is what the round-trip tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+from ..errors import StoreCorruption
+from ..llm import Completion
+
+#: Pinned so two Python versions with different default protocols still
+#: produce mutually readable blobs.
+PICKLE_PROTOCOL = 4
+
+_MAGIC_JSON = b"RSJ1\n"
+_MAGIC_TEXT = b"RST1\n"
+_MAGIC_PICKLE = b"RSP1\n"
+
+
+def encode_artifact(kind: str, value) -> bytes:
+    """Serialize ``value`` for storage under an artifact of ``kind``."""
+    if kind == "llm":
+        if not isinstance(value, Completion):
+            raise TypeError(f"llm artifacts store Completions, got {type(value).__name__}")
+        body = json.dumps(
+            {"model": value.model, "text": value.text},
+            sort_keys=True,
+            ensure_ascii=False,
+            separators=(",", ":"),
+        )
+        return _MAGIC_JSON + body.encode("utf-8")
+    if kind == "extract":
+        if not isinstance(value, str):
+            raise TypeError(f"extract artifacts store str, got {type(value).__name__}")
+        return _MAGIC_TEXT + value.encode("utf-8")
+    return _MAGIC_PICKLE + pickle.dumps(value, protocol=PICKLE_PROTOCOL)
+
+
+def decode_artifact(kind: str, payload: bytes, *, key: str | None = None):
+    """Deserialize a verified blob back into its artifact value."""
+    expected = _MAGIC_JSON if kind == "llm" else _MAGIC_TEXT if kind == "extract" else _MAGIC_PICKLE
+    if not payload.startswith(expected):
+        raise StoreCorruption(
+            f"artifact of kind {kind!r} has wrong encoding magic "
+            f"{payload[:5]!r} (expected {expected!r})",
+            key=key,
+        )
+    body = payload[len(expected):]
+    if kind == "llm":
+        try:
+            fields = json.loads(body.decode("utf-8"))
+            return Completion(text=fields["text"], model=fields["model"])
+        except (ValueError, KeyError, UnicodeDecodeError) as error:
+            raise StoreCorruption(f"llm artifact body is not valid JSON: {error}", key=key)
+    if kind == "extract":
+        try:
+            return body.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise StoreCorruption(f"extract artifact body is not UTF-8: {error}", key=key)
+    try:
+        return pickle.loads(body)
+    except Exception as error:  # pickle raises a zoo of types on bad input
+        raise StoreCorruption(f"pickled artifact failed to load: {error!r}", key=key)
+
+
+__all__ = ["PICKLE_PROTOCOL", "encode_artifact", "decode_artifact"]

@@ -1,0 +1,369 @@
+"""The disk-backed content-addressed artifact store.
+
+Layout under the store root::
+
+    objects/<sha256-hex>   one blob per distinct content, named by its digest
+    manifest.jsonl         append-only canonical-key -> blob-digest mapping
+    .lock                  advisory inter-process lock file (flock)
+
+**Blobs** are immutable and content-addressed: the file name *is* the
+SHA-256 of the bytes, writes go to a unique temp file and ``os.replace``
+into place, and every read re-hashes the content against the name.  Two
+writers racing on the same content are therefore idempotent — whichever
+rename lands last installs identical bytes — and a corrupted blob can never
+be served (the digest check raises :class:`~repro.errors.StoreCorruption`).
+
+**The manifest** is append-only JSONL; each line carries a short check
+digest over its own (key, digest) pair so hand-edits and torn writes are
+detected line-by-line.  Later lines win, which is what makes concurrent
+appends and re-saves safe without ever rewriting the file in place;
+:meth:`ArtifactStore.compact` rewrites it atomically when asked.  Readers
+refresh incrementally from their last byte offset (restarting from zero if
+the file shrank under compaction).
+
+**Locking** is two-level: a ``threading.RLock`` orders threads within the
+process, and an advisory ``flock`` on ``.lock`` orders processes, held
+around every manifest read/append.  Blob writes need no lock at all —
+content addressing makes them race-free — but they happen before the
+manifest append so a published manifest line never points at a blob that is
+still being written.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: fall back to thread-level locking only
+    fcntl = None
+
+from ..errors import StoreCorruption
+from .codec import decode_artifact, encode_artifact
+from .keys import StoreKey
+
+_DIGEST_HEX = 64
+
+
+def _line_check(canonical: str, digest: str) -> str:
+    """Per-line tamper check over the fields that make the line meaningful."""
+    return hashlib.sha256(f"{canonical}\x00{digest}".encode("utf-8")).hexdigest()[:16]
+
+
+class ArtifactStore:
+    """A persistent, verified, concurrently-writable artifact store."""
+
+    MANIFEST_NAME = "manifest.jsonl"
+
+    def __init__(self, root: "str | os.PathLike"):
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.manifest_path = self.root / self.MANIFEST_NAME
+        self._lock_path = self.root / ".lock"
+        self._mutex = threading.RLock()
+        #: canonical key -> (kind, blob digest); the last manifest line wins.
+        self._entries: dict[str, tuple[str, str]] = {}
+        #: Byte offset up to which the manifest has been absorbed.
+        self._offset = 0
+        self._tmp_counter = itertools.count()
+        with self._locked():
+            self._refresh_locked()
+
+    # ---------------------------------------------------------------- locking
+    @contextmanager
+    def _locked(self):
+        """Thread lock + advisory inter-process flock around manifest access."""
+        with self._mutex:
+            handle = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                if fcntl is not None:
+                    fcntl.flock(handle, fcntl.LOCK_EX)
+                yield
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+                os.close(handle)
+
+    # --------------------------------------------------------------- manifest
+    def _refresh_locked(self) -> None:
+        """Absorb manifest lines appended since the last refresh.
+
+        Must hold :meth:`_locked`.  A shrunken file (another process ran
+        :meth:`compact`) resets the reader to byte zero; anything that fails
+        to parse or fails its check digest raises
+        :class:`~repro.errors.StoreCorruption` — a half-understood manifest
+        must never serve lookups.
+        """
+        if not self.manifest_path.exists():
+            self._entries.clear()
+            self._offset = 0
+            return
+        size = self.manifest_path.stat().st_size
+        if size < self._offset:
+            self._entries.clear()
+            self._offset = 0
+        if size == self._offset:
+            return
+        with self.manifest_path.open("rb") as stream:
+            stream.seek(self._offset)
+            data = stream.read()
+            self._offset = stream.tell()
+        for raw in data.splitlines():
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                canonical = record["key"]
+                kind = record["kind"]
+                digest = record["digest"]
+                check = record["check"]
+            except (ValueError, KeyError, TypeError):
+                raise StoreCorruption(
+                    f"unparseable manifest line in {self.manifest_path}: {line[:120]!r}",
+                    path=str(self.manifest_path),
+                )
+            if (
+                not isinstance(digest, str)
+                or len(digest) != _DIGEST_HEX
+                or check != _line_check(canonical, digest)
+            ):
+                raise StoreCorruption(
+                    f"manifest line failed verification for key {canonical!r} "
+                    f"in {self.manifest_path}",
+                    path=str(self.manifest_path),
+                    key=canonical if isinstance(canonical, str) else None,
+                )
+            self._entries[canonical] = (kind, digest)
+
+    def _append_locked(self, canonical: str, kind: str, digest: str) -> None:
+        line = (
+            json.dumps(
+                {
+                    "key": canonical,
+                    "kind": kind,
+                    "digest": digest,
+                    "check": _line_check(canonical, digest),
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            + "\n"
+        ).encode("utf-8")
+        with self.manifest_path.open("ab") as stream:
+            stream.write(line)
+            stream.flush()
+            os.fsync(stream.fileno())
+        self._offset += len(line)
+        self._entries[canonical] = (kind, digest)
+
+    def _rewrite_locked(self, entries: dict[str, tuple[str, str]]) -> None:
+        """Atomically replace the manifest with one line per surviving entry."""
+        tmp = self.manifest_path.with_name(self._tmp_name("manifest"))
+        with tmp.open("wb") as stream:
+            for canonical, (kind, digest) in sorted(entries.items()):
+                stream.write(
+                    (
+                        json.dumps(
+                            {
+                                "key": canonical,
+                                "kind": kind,
+                                "digest": digest,
+                                "check": _line_check(canonical, digest),
+                            },
+                            sort_keys=True,
+                            separators=(",", ":"),
+                        )
+                        + "\n"
+                    ).encode("utf-8")
+                )
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, self.manifest_path)
+        self._entries = dict(entries)
+        self._offset = self.manifest_path.stat().st_size
+
+    # ------------------------------------------------------------------ blobs
+    def _tmp_name(self, stem: str) -> str:
+        return f".tmp-{stem}-{os.getpid()}-{next(self._tmp_counter)}"
+
+    def blob_path(self, digest: str) -> Path:
+        return self.objects_dir / digest
+
+    def _write_blob(self, payload: bytes) -> str:
+        digest = hashlib.sha256(payload).hexdigest()
+        path = self.blob_path(digest)
+        if path.exists():
+            return digest
+        tmp = self.objects_dir / self._tmp_name(digest[:12])
+        with tmp.open("wb") as stream:
+            stream.write(payload)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, path)
+        return digest
+
+    def read_blob(self, digest: str) -> bytes | None:
+        """Verified blob read: the bytes, or ``None`` when the blob is absent.
+
+        Content that no longer hashes to its name raises
+        :class:`~repro.errors.StoreCorruption` — absence and corruption are
+        different failures (frozen mode maps the former to
+        :class:`~repro.errors.FrozenStoreMiss`).
+        """
+        path = self.blob_path(digest)
+        try:
+            payload = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        actual = hashlib.sha256(payload).hexdigest()
+        if actual != digest:
+            raise StoreCorruption(
+                f"blob {digest} content hashes to {actual} "
+                f"({len(payload)} bytes at {path})",
+                path=str(path),
+            )
+        return payload
+
+    # -------------------------------------------------------------- raw bytes
+    def put_bytes(self, key: StoreKey, payload: bytes) -> str:
+        """Store ``payload`` under ``key``; returns the blob digest.
+
+        The blob lands before the manifest line is published, so a reader
+        that sees the entry can always resolve it.  Re-saving identical
+        content is a no-op on the object tree (same digest, same file) and
+        appends a manifest line only when the mapping actually changed.
+        """
+        canonical = key.canonical()
+        digest = self._write_blob(payload)
+        with self._locked():
+            self._refresh_locked()
+            if self._entries.get(canonical) != (key.kind, digest):
+                self._append_locked(canonical, key.kind, digest)
+        return digest
+
+    def get_bytes(self, key: StoreKey) -> bytes | None:
+        """Verified bytes for ``key``, or ``None`` on a clean miss."""
+        canonical = key.canonical()
+        with self._locked():
+            self._refresh_locked()
+            entry = self._entries.get(canonical)
+        if entry is None:
+            return None
+        _, digest = entry
+        payload = self.read_blob(digest)
+        if payload is None:
+            raise StoreCorruption(
+                f"manifest entry for {canonical!r} names missing blob {digest}",
+                path=str(self.blob_path(digest)),
+                key=canonical,
+            )
+        return payload
+
+    # -------------------------------------------------------------- artifacts
+    def save(self, key: StoreKey, value) -> str:
+        """Encode and store one artifact; returns the blob digest."""
+        return self.put_bytes(key, encode_artifact(key.kind, value))
+
+    def load(self, key: StoreKey):
+        """Decode one artifact; raises ``KeyError`` on a clean miss."""
+        payload = self.get_bytes(key)
+        if payload is None:
+            raise KeyError(key.canonical())
+        return decode_artifact(key.kind, payload, key=key.canonical())
+
+    def __contains__(self, key: StoreKey) -> bool:
+        canonical = key.canonical()
+        with self._locked():
+            self._refresh_locked()
+            return canonical in self._entries
+
+    # ------------------------------------------------------------ maintenance
+    def snapshot(self) -> dict[str, tuple[str, str]]:
+        """A point-in-time copy of the manifest: key -> (kind, digest).
+
+        The raw material of a frozen lockfile — taken under the lock, after
+        absorbing every line other processes have appended, so a freeze at
+        the end of a multi-process run covers the workers' artifacts too.
+        """
+        with self._locked():
+            self._refresh_locked()
+            return dict(self._entries)
+
+    def evict(self, *, kinds: "tuple[str, ...] | None" = None,
+              keys: "tuple[str, ...] | None" = None) -> int:
+        """Drop entries by kind and/or canonical key; returns how many.
+
+        Rewrites the manifest atomically and deletes blobs no surviving
+        entry references.  Maintenance only — must not run concurrently
+        with writers in *other* processes (their incremental readers would
+        splice stale offsets into the rewritten file).
+        """
+        kind_set = set(kinds or ())
+        key_set = set(keys or ())
+        with self._locked():
+            self._refresh_locked()
+            survivors = {
+                canonical: entry
+                for canonical, entry in self._entries.items()
+                if entry[0] not in kind_set and canonical not in key_set
+            }
+            dropped = len(self._entries) - len(survivors)
+            if dropped:
+                self._rewrite_locked(survivors)
+                referenced = {digest for _, digest in survivors.values()}
+                for blob in self.objects_dir.iterdir():
+                    if blob.name not in referenced and not blob.name.startswith(".tmp-"):
+                        blob.unlink(missing_ok=True)
+        return dropped
+
+    def compact(self) -> None:
+        """Rewrite the manifest last-wins and garbage-collect orphan blobs."""
+        with self._locked():
+            self._refresh_locked()
+            self._rewrite_locked(dict(self._entries))
+            referenced = {digest for _, digest in self._entries.values()}
+            for blob in self.objects_dir.iterdir():
+                if blob.name not in referenced and not blob.name.startswith(".tmp-"):
+                    blob.unlink(missing_ok=True)
+
+    def verify(self) -> int:
+        """Re-hash every referenced blob; returns the entry count.
+
+        Raises :class:`~repro.errors.StoreCorruption` at the first entry
+        whose blob is missing or whose content fails its digest.
+        """
+        entries = self.snapshot()
+        for canonical, (_, digest) in sorted(entries.items()):
+            if self.read_blob(digest) is None:
+                raise StoreCorruption(
+                    f"manifest entry for {canonical!r} names missing blob {digest}",
+                    path=str(self.blob_path(digest)),
+                    key=canonical,
+                )
+        return len(entries)
+
+    def __len__(self) -> int:
+        with self._locked():
+            self._refresh_locked()
+            return len(self._entries)
+
+    # ---------------------------------------------------------------- pickling
+    # A store handle travels into process-pool workers by path: the worker's
+    # copy re-reads the shared on-disk state, and writes through the same
+    # flock discipline as the parent.
+    def __getstate__(self) -> dict:
+        return {"root": str(self.root)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["root"])
+
+
+__all__ = ["ArtifactStore"]

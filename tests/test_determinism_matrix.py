@@ -269,3 +269,52 @@ def test_replay_backend_is_engine_safe(kind, jobs):
 def _query_scripted(prompt: Prompt):
     """Module-level so process pools can pickle the replay task."""
     return _scripted_backend().query(prompt)
+
+
+# ------------------------------------------------------------ store axis
+def test_table1_store_matrix(small_kernel, tmp_path):
+    """The persistence axis of the matrix: cold vs warm vs frozen.
+
+    One table1 render per store state — cold (empty store, every artifact
+    computed and written through), warm (fresh process-equivalent context
+    over the populated store, hydrating instead of recomputing) and frozen
+    (loads pinned by a lockfile, the analyst replaced by a backend whose
+    every ``complete_batch`` raises) — must produce byte-identical text.
+    That is determinism rule 9: store state may change *where* a value
+    comes from and how many round-trips happen, never the output bytes.
+    The frozen cell completing at all proves zero live backend traffic.
+    """
+    from repro.experiments.config import quick
+    from repro.experiments.context import EvaluationContext
+    from repro.experiments.table1 import run_table1
+    from repro.llm import OracleBackend
+    from repro.store import ArtifactStore, FrozenBackend, FrozenLock, StoreBinding
+
+    config = quick().with_overrides(kernel_scale="small")
+    store = ArtifactStore(tmp_path / "store")
+
+    def render(binding, analysis_backend=None) -> str:
+        engine = ExecutionEngine(jobs=1, store=binding)
+        ctx = EvaluationContext(
+            config, small_kernel, engine=engine, analysis_backend=analysis_backend
+        )
+        return run_table1(ctx).render()
+
+    cold_binding = StoreBinding(store)
+    cold = render(cold_binding)
+    assert cold_binding.stats()["store:session"]["misses"] > 0
+    assert cold_binding.stats()["store:session"]["hits"] == 0
+
+    lock = FrozenLock.freeze(store)
+    assert len(lock) > 0
+
+    warm_binding = StoreBinding(store)
+    warm = render(warm_binding)
+    assert warm_binding.stats()["store:session"]["hits"] > 0
+    assert warm_binding.stats()["store:session"]["misses"] == 0
+
+    frozen_binding = StoreBinding(store, frozen=lock)
+    frozen = render(frozen_binding, analysis_backend=FrozenBackend(OracleBackend()))
+    assert frozen_binding.stats()["store:session"]["hits"] > 0
+
+    assert cold == warm == frozen
