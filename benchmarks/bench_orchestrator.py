@@ -1,0 +1,155 @@
+"""Benchmark: cold campaign vs digest-keyed partial re-run.
+
+The workload is the full quick-preset evaluation campaign — nine report
+tasks over the generate → validate → fuzz pipeline plus the three quality
+gates — run twice through the real CLI in separate interpreter processes
+(so no in-process cache warmth leaks between runs):
+
+* **cold**: an empty artifact store; every task executes;
+* **rerun**: the same store; every cacheable task's input digest matches,
+  so the scheduler serves it as ``task_reused`` and only the gates (which
+  never reuse — they verify the present run) re-execute.
+
+Before timing is reported, the two runs' stdout and ``--output`` files are
+asserted byte-identical and the rerun's event log is asserted to have
+reused every report task — the speedup only counts for a correct partial
+re-run.  The headline is ``reuse_speedup`` (cold wall / rerun wall).
+
+CI usage (the campaign smoke job)::
+
+    python benchmarks/bench_orchestrator.py --check benchmarks/BENCH_orchestrator.json \
+        --json BENCH_orchestrator.json
+
+``--check`` exits non-zero when the measured reuse speedup falls below the
+recorded trajectory's ``check_floor``; ``--json`` writes the measured row
+for the artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import filecmp
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.orchestrator.events import read_events  # noqa: E402
+
+
+def run_campaign_cli(store: Path, events: Path, output: Path, preset: str) -> tuple[float, bytes]:
+    """One campaign CLI run in a fresh interpreter; returns (wall_s, stdout)."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable, "-m", "repro.experiments.runner", "campaign",
+        "--preset", preset,
+        "--store", str(store),
+        "--events", str(events),
+        "--output", str(output),
+        "--bench", str(REPO / "benchmarks"),
+    ]
+    started = time.perf_counter()
+    completed = subprocess.run(
+        command, cwd=REPO, env=env, check=True,
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+    )
+    return time.perf_counter() - started, completed.stdout
+
+
+def assert_identical_outputs(cold_dir: Path, warm_dir: Path) -> int:
+    """Every rendered table must be byte-identical across the two runs."""
+    cold_files = sorted(path.name for path in cold_dir.iterdir())
+    warm_files = sorted(path.name for path in warm_dir.iterdir())
+    assert cold_files == warm_files, (cold_files, warm_files)
+    match, mismatch, errors = filecmp.cmpfiles(cold_dir, warm_dir, cold_files, shallow=False)
+    assert not mismatch and not errors, (mismatch, errors)
+    return len(match)
+
+
+def measure(preset: str) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-orchestrator-") as scratch_name:
+        scratch = Path(scratch_name)
+        store = scratch / "store"
+        cold_wall, cold_stdout = run_campaign_cli(
+            store, scratch / "events-cold.jsonl", scratch / "out-cold", preset
+        )
+        rerun_wall, rerun_stdout = run_campaign_cli(
+            store, scratch / "events-rerun.jsonl", scratch / "out-rerun", preset
+        )
+        assert cold_stdout == rerun_stdout, "rerun stdout diverged from the cold run"
+        tables = assert_identical_outputs(scratch / "out-cold", scratch / "out-rerun")
+        cold_events = read_events(scratch / "events-cold.jsonl")
+        rerun_events = read_events(scratch / "events-rerun.jsonl")
+        reused = [e["task_id"] for e in rerun_events if e["type"] == "task_reused"]
+        reused_reports = [task_id for task_id in reused if task_id.startswith("report:")]
+        assert len(reused_reports) == tables, (reused_reports, tables)
+        assert not [e for e in cold_events if e["type"] == "task_reused"], \
+            "cold run unexpectedly reused tasks"
+        tasks = sum(1 for e in cold_events if e["type"] == "task_scheduled")
+    return {
+        "preset": preset,
+        "tasks": tasks,
+        "tables": tables,
+        "reused": len(reused),
+        "cold_wall_s": round(cold_wall, 4),
+        "rerun_wall_s": round(rerun_wall, 4),
+        "reuse_speedup": round(cold_wall / rerun_wall, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Campaign orchestrator benchmark: cold run vs digest-keyed partial re-run"
+    )
+    parser.add_argument("--preset", choices=["quick", "paper"], default="quick")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the measured trajectory row to this JSON file")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="fail if the reuse speedup drops below the recorded "
+                             "trajectory's check_floor in this JSON file")
+    args = parser.parse_args(argv)
+
+    row = measure(args.preset)
+    print(f"campaign ({row['tasks']} tasks, {row['tables']} tables, preset {row['preset']}): "
+          f"cold {row['cold_wall_s']:.2f}s  rerun {row['rerun_wall_s']:.2f}s "
+          f"({row['reused']} tasks reused)  reuse speedup {row['reuse_speedup']:.2f}x "
+          f"(byte-identical outputs)")
+
+    exit_code = 0
+    if args.check is not None:
+        recorded = json.loads(args.check.read_text())
+        floor = recorded["rows"][-1].get("check_floor", 1.0)
+        measured = row["reuse_speedup"]
+        if measured < floor:
+            print(f"FAIL: measured reuse speedup {measured:.2f}x is below the recorded "
+                  f"floor {floor:.2f}x", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"check ok: {measured:.2f}x >= floor {floor:.2f}x")
+    if args.json is not None:
+        # The floor for future --check runs: the measured ratio with a noise
+        # margin, never below break-even.
+        row["check_floor"] = max(1.2, round(row["reuse_speedup"] * 0.6, 2))
+        payload = {"benchmark": "campaign-orchestrator", "rows": [row]}
+        if args.json.exists():
+            try:
+                existing = json.loads(args.json.read_text())
+                payload["rows"] = existing.get("rows", []) + payload["rows"]
+            except (ValueError, KeyError):
+                pass
+        args.json.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote trajectory row to {args.json}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

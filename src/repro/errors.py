@@ -190,3 +190,79 @@ class TenantBudgetExceeded(AdmissionError):
             f"tenant {tenant!r} exceeded its query budget of {limit}: "
             f"{requested} distinct queries submitted, request #{request_index} refused"
         )
+
+
+class CampaignError(ReproError):
+    """Base class for campaign-orchestrator failures (:mod:`repro.orchestrator`).
+
+    Campaigns are DAGs of typed tasks with quality gates at the leaves; the
+    orchestrator refuses malformed plans (:class:`CampaignPlanError`), reports
+    retry-budget exhaustion (:class:`CampaignTaskFailed`) and failed verifier
+    gates (:class:`CampaignGateFailed`) with enough context that CI consumes
+    the typed error rather than scraping stdout.
+    """
+
+
+class CampaignPlanError(CampaignError):
+    """Raised when a campaign plan is structurally invalid.
+
+    Covers duplicate task ids, edges to unknown tasks, self-dependencies and
+    cycles — anything that makes a deterministic topological order
+    impossible.  Raised at plan construction, before any task runs.
+    """
+
+
+class CampaignTaskFailed(CampaignError):
+    """Raised when a campaign task exhausts its retry budget.
+
+    Attributes
+    ----------
+    task_id:
+        Id of the task whose attempts are exhausted.
+    attempts:
+        How many attempts were made (retry budget + 1).
+    cause:
+        The error raised by the final attempt, when known.
+    """
+
+    def __init__(self, message: str, *, task_id: str, attempts: int, cause: BaseException | None = None):
+        self.task_id = task_id
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(message)
+
+
+class CampaignGateFailed(CampaignError):
+    """Raised when one or more quality gates report a failing verdict.
+
+    Gates are ordinary terminal tasks that *complete* with a structured
+    verdict; a failing verdict fails the campaign as a whole once every
+    reachable task has run, so one bad gate never hides another.
+
+    Attributes
+    ----------
+    gates:
+        Task ids of the failed gates, in deterministic (sorted) order.
+    details:
+        Gate id → human-readable failure detail.
+    """
+
+    def __init__(self, message: str, *, gates: tuple[str, ...], details: dict[str, str]):
+        self.gates = gates
+        self.details = dict(details)
+        super().__init__(message)
+
+
+class EventLogError(CampaignError):
+    """Raised when an event violates the event-log schema, or a log is unreadable.
+
+    Attributes
+    ----------
+    line:
+        1-based line number of the offending record when reading a file.
+    """
+
+    def __init__(self, message: str, *, line: int | None = None):
+        self.line = line
+        location = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{location}")

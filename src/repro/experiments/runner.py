@@ -14,8 +14,12 @@ locks and engines that cannot cross a process boundary; experiments are
 pure functions of the configuration, so the rendered tables are unchanged.
 ``--profile`` prints the engine's per-stage wall-time breakdown plus cache
 statistics.  Results are printed in deterministic experiment order whatever
-the job count or executor, so ``--jobs 4 --executor process`` output
-matches ``--jobs 1`` byte for byte (modulo the timing numbers themselves).
+the job count or executor, and per-experiment timing lines go to stderr, so
+``--jobs 4 --executor process`` stdout matches ``--jobs 1`` byte for byte.
+
+``kernelgpt-repro campaign`` runs the same experiments as a DAG-scheduled
+campaign with quality gates and a structured event log (see
+:mod:`repro.orchestrator`); its stdout matches this runner's byte for byte.
 """
 
 from __future__ import annotations
@@ -158,6 +162,17 @@ def main(argv: list[str] | None = None) -> int:
         except AdmissionError as error:
             print(f"admission refused: {error}", file=sys.stderr)
             return 2
+    if arguments and arguments[0] == "campaign":
+        # DAG-scheduled campaigns live in repro.orchestrator; same lazy
+        # import rule as serve.
+        from ..errors import CampaignPlanError
+        from ..orchestrator.cli import campaign_main
+
+        try:
+            return campaign_main(arguments[1:])
+        except CampaignPlanError as error:
+            print(f"invalid campaign plan: {error}", file=sys.stderr)
+            return 2
     parser = argparse.ArgumentParser(description="Regenerate the KernelGPT evaluation tables/figures")
     parser.add_argument("--experiment", "-e", action="append", choices=sorted(EXPERIMENTS) + ["all"],
                         default=None, help="experiment(s) to run (default: all)")
@@ -237,7 +252,10 @@ def main(argv: list[str] | None = None) -> int:
     def report(name: str, result: TableResult, elapsed: float) -> None:
         text = result.render()
         print(text)
-        print(f"[{name}] completed in {elapsed:.1f}s\n")
+        print()
+        # Timing goes to stderr so stdout stays byte-diffable across runs
+        # (the same convention as the --freeze summary and failure lines).
+        print(f"[{name}] completed in {elapsed:.1f}s", file=sys.stderr)
         if name == "table1":
             # In process mode the generation run lives in worker contexts;
             # the audit was computed there too (see the task batch below),

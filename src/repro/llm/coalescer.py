@@ -92,6 +92,12 @@ class BatchCoalescer:
         self._eager = drain
         self._expected = 0
         self._closed = False
+        #: Optional callable fed one summary dict per non-empty flush
+        #: (submissions/requests/distinct counts) — the serving layer's
+        #: event-log hook.  Called outside the admission lock, after the
+        #: flush's waiters are released; exceptions are swallowed so a
+        #: broken observer can never kill the flusher thread.
+        self.observer = None
         self._stats_lock = threading.Lock()
         self._stats = {
             "flushes": 0,
@@ -239,6 +245,7 @@ class BatchCoalescer:
                 for submission in batch:
                     submission.error = exc
                     submission.event.set()
+                self._notify_observer(batch, merged, ok=False)
                 return len(batch)
             offset = 0
             for submission in batch:
@@ -246,6 +253,7 @@ class BatchCoalescer:
                 submission.results = list(completions[offset : offset + count])
                 offset += count
                 submission.event.set()
+            self._notify_observer(batch, merged, ok=True)
             return len(batch)
 
     def _flush_loop(self) -> None:
@@ -338,6 +346,22 @@ class BatchCoalescer:
             )
             for key, delta in deltas.items():
                 entry[key] += delta
+
+    def _notify_observer(self, batch: list[_Submission], merged: list[LLMRequest], *, ok: bool) -> None:
+        observer = self.observer
+        if observer is None:
+            return
+        try:
+            observer(
+                {
+                    "submissions": len(batch),
+                    "requests": len(merged),
+                    "distinct": len({request.batch_key() for request in merged}),
+                    "ok": ok,
+                }
+            )
+        except Exception:  # noqa: BLE001 - observers must not break serving
+            pass
 
     def _note_flush(self, batch: list[_Submission], merged: list[LLMRequest]) -> None:
         """Record one flush: merge/dedupe accounting plus per-kind batch sizes.

@@ -1,0 +1,61 @@
+"""Campaign orchestration: DAG-scheduled evaluation runs with quality gates.
+
+The orchestrator turns the flat per-table experiment loop into a typed
+dependency DAG — generate → validate/repair → fuzz → per-table report →
+quality gates — scheduled deterministically onto the existing
+:class:`~repro.engine.ExecutionEngine` executors.  Each task carries a
+canonical input digest (config + parameters + upstream output digests under
+a schema tag); against an :class:`~repro.store.ArtifactStore`, digests
+decide what actually re-executes, so partial re-runs touch only the dirty
+subgraph.  Every run is narrated by a schema'd JSONL event log that CI
+consumes instead of scraping stdout.
+
+Layering: orchestrator sits above ``experiments`` and ``engine`` and below
+nothing — the ``campaign`` subcommand is its only entry point, and the
+serving layer borrows only :mod:`repro.orchestrator.events`.
+"""
+
+from .events import EVENT_SCHEMA, VOLATILE_FIELDS, EventLog, deterministic_view, read_events
+from .plan import (
+    CAMPAIGN_SCHEMA,
+    CampaignPlan,
+    CampaignTask,
+    build_campaign_plan,
+    campaign_key,
+    config_digest,
+    output_digest,
+    task_input_digest,
+)
+from .scheduler import (
+    CampaignResult,
+    CampaignScheduler,
+    TaskPayload,
+    execute_campaign_task,
+    run_campaign_plan,
+)
+from .verifier import GateVerdict, bench_floor_gate, determinism_gate, store_verify_gate
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "EVENT_SCHEMA",
+    "VOLATILE_FIELDS",
+    "CampaignPlan",
+    "CampaignResult",
+    "CampaignScheduler",
+    "CampaignTask",
+    "EventLog",
+    "GateVerdict",
+    "TaskPayload",
+    "bench_floor_gate",
+    "build_campaign_plan",
+    "campaign_key",
+    "config_digest",
+    "determinism_gate",
+    "deterministic_view",
+    "execute_campaign_task",
+    "output_digest",
+    "read_events",
+    "run_campaign_plan",
+    "store_verify_gate",
+    "task_input_digest",
+]

@@ -1,0 +1,148 @@
+"""``kernelgpt-repro campaign`` — DAG-scheduled runs of the evaluation.
+
+The campaign subcommand is the orchestrated face of the flat runner: the
+same experiments, the same presets and executors, but scheduled as a
+dependency DAG with retry budgets, quality gates, and a structured event
+log.  Rendered tables print to stdout in the flat runner's deterministic
+experiment order and byte-for-byte format, so ``campaign --preset quick``
+diffs clean against ``kernelgpt-repro --preset quick`` — stdout stays the
+contract; progress, verdicts and the summary go to stderr and the event
+log.
+
+With ``--store DIR``, completed tasks are recorded under their canonical
+input digests; a second run against the same store re-executes only tasks
+whose digests changed (``task_reused`` events name the clean ones).  With
+``--events FILE``, the full schema'd JSONL log is appended there for CI to
+assert on instead of scraping stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..engine import ExecutionEngine
+from ..errors import CampaignError
+from .events import EventLog
+from .plan import build_campaign_plan
+from .scheduler import CampaignScheduler
+
+
+def _progress(record: dict) -> None:
+    """One concise stderr line per interesting event."""
+    kind = record["type"]
+    if kind == "task_started":
+        print(f"[campaign] {record['task_id']} started (attempt {record['attempt']})",
+              file=sys.stderr)
+    elif kind == "task_reused":
+        print(f"[campaign] {record['task_id']} reused (digest {record['digest'][:12]})",
+              file=sys.stderr)
+    elif kind == "task_finished":
+        duration = record.get("duration", 0.0)
+        print(f"[campaign] {record['task_id']} finished in {duration:.1f}s",
+              file=sys.stderr)
+    elif kind == "task_retried":
+        print(f"[campaign] {record['task_id']} retrying after: {record['error']}",
+              file=sys.stderr)
+    elif kind in ("task_failed", "task_skipped"):
+        detail = record.get("error") or f"blocked on {record.get('blocked_on')}"
+        print(f"[campaign] {record['task_id']} {kind.split('_', 1)[1]}: {detail}",
+              file=sys.stderr)
+    elif kind in ("gate_passed", "gate_failed"):
+        verdict = "pass" if kind == "gate_passed" else "FAIL"
+        print(f"[campaign] gate {record['gate']}: {verdict} — {record['detail']}",
+              file=sys.stderr)
+
+
+def campaign_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="kernelgpt-repro campaign",
+        description="Run the evaluation as a DAG-scheduled campaign with quality gates",
+    )
+    from ..experiments.runner import EXPERIMENTS
+
+    parser.add_argument("--experiment", "-e", action="append",
+                        choices=sorted(EXPERIMENTS) + ["all"], default=None,
+                        help="experiment(s) to report on (default: all)")
+    parser.add_argument("--preset", choices=["quick", "paper"], default="quick")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="workers per campaign wave (default: 1)")
+    parser.add_argument("--executor", choices=["serial", "thread", "process"], default="thread",
+                        help="worker pool flavour for --jobs > 1 (default: thread)")
+    parser.add_argument("--store", type=Path, default=None, metavar="DIR",
+                        help="artifact store for digest-keyed task reuse: clean tasks "
+                             "(input digest unchanged) load instead of re-executing")
+    parser.add_argument("--events", type=Path, default=None, metavar="FILE",
+                        help="append the schema'd JSONL event log to FILE")
+    parser.add_argument("--output", type=Path, default=None, metavar="DIR",
+                        help="directory to write result text files")
+    parser.add_argument("--bench", type=Path, default=None, metavar="DIR",
+                        help="benchmark trajectory directory for the bench-floors gate "
+                             "(default: benchmarks/)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retry budget per pipeline/report task (default: 1)")
+    parser.add_argument("--fuzz-budget", type=int, default=200,
+                        help="program budget for the campaign fuzz stage (default: 200)")
+    parser.add_argument("--no-gates", action="store_true",
+                        help="skip the quality gates (determinism diff, bench floors, "
+                             "store verify)")
+    args = parser.parse_args(argv)
+
+    from ..experiments.config import paper, quick
+
+    config = paper() if args.preset == "paper" else quick()
+    wanted = args.experiment or ["all"]
+    names = sorted(EXPERIMENTS) if "all" in wanted else sorted(set(wanted))
+    plan = build_campaign_plan(
+        config,
+        experiments=names,
+        retries=args.retries,
+        gates=not args.no_gates,
+        store=str(args.store) if args.store is not None else None,
+        bench_dir=str(args.bench) if args.bench is not None else None,
+        fuzz_budget=args.fuzz_budget,
+    )
+    store = None
+    if args.store is not None:
+        from ..store import ArtifactStore
+
+        store = ArtifactStore(args.store)
+    engine = ExecutionEngine(jobs=args.jobs, kind=args.executor)
+    events = EventLog(args.events, mirror=_progress)
+    try:
+        scheduler = CampaignScheduler(
+            plan, engine, preset=args.preset, store=store, events=events
+        )
+        result = scheduler.run()
+    finally:
+        events.close()
+
+    for name in names:
+        outcome = result.outcomes.get(f"report:{name}")
+        if outcome is None:
+            continue
+        text = outcome.output["text"]
+        print(text)
+        print()
+        if name == "table1" and outcome.output.get("audit"):
+            print("Correctness audit (§5.1.3):", outcome.output["audit"], "\n")
+        if args.output is not None:
+            args.output.mkdir(parents=True, exist_ok=True)
+            (args.output / f"{name}.txt").write_text(text + "\n")
+
+    print(
+        f"[campaign] {len(plan)} task(s): {result.executed} executed, "
+        f"{result.reused} reused, {len(result.failures)} failed, "
+        f"{len(result.skipped)} skipped in {result.wall:.1f}s",
+        file=sys.stderr,
+    )
+    try:
+        result.raise_for_status()
+    except CampaignError as error:
+        print(f"campaign failed: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+__all__ = ["campaign_main"]

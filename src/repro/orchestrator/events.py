@@ -1,0 +1,152 @@
+"""Schema'd append-only JSONL event log for campaigns and the serving layer.
+
+One campaign (or ``serve`` invocation) writes one log: a sequence of JSON
+objects, one per line, each carrying a ``type`` from :data:`EVENT_SCHEMA`, a
+monotonically increasing ``seq``, a wall-clock ``ts``, and the type's
+required fields.  The log is the machine-readable face of a run — CI asserts
+on events (gate verdicts, ``task_reused`` counts) instead of scraping
+stdout, and partial re-runs are explained by it rather than inferred.
+
+Determinism contract (DESIGN.md rule 10): two equivalent runs — same plan,
+config, and store state, any jobs/executor — produce event logs whose
+:func:`deterministic_view` sequences are byte-identical.  Everything timing-
+or placement-dependent (``ts``, durations, worker names, jobs/executor
+shape, cache and coalescer counters) lives in :data:`VOLATILE_FIELDS`;
+everything else (event order, task ids, digests, attempts, verdicts) is
+pinned.  The scheduler guarantees this by emitting every event from the
+coordinating thread in dispatch order, never from workers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from ..errors import EventLogError
+
+#: Fields excluded from rule-10 byte comparison: anything measuring wall
+#: time or reflecting execution shape (parallelism, cache warmth) rather
+#: than campaign content.
+VOLATILE_FIELDS = frozenset(
+    {"ts", "duration", "wall", "elapsed", "worker", "jobs", "executor", "stats"}
+)
+
+#: Event type → required payload fields (beyond ``type``/``seq``/``ts``).
+#: Extra fields are allowed — the schema is a floor, not a ceiling — so
+#: emitters can attach volatile diagnostics without a schema bump.
+EVENT_SCHEMA: dict[str, frozenset[str]] = {
+    # Campaign lifecycle (repro.orchestrator.scheduler).
+    "campaign_started": frozenset({"campaign", "config_digest", "tasks"}),
+    "campaign_finished": frozenset({"passed", "executed", "reused", "failed", "gates_failed"}),
+    "task_scheduled": frozenset({"task_id", "digest"}),
+    "task_started": frozenset({"task_id", "digest", "attempt"}),
+    "task_retried": frozenset({"task_id", "digest", "attempt", "error"}),
+    "task_finished": frozenset({"task_id", "digest", "output_digest", "attempt"}),
+    "task_reused": frozenset({"task_id", "digest", "output_digest"}),
+    "task_failed": frozenset({"task_id", "digest", "attempt", "error"}),
+    "task_skipped": frozenset({"task_id", "blocked_on"}),
+    "gate_passed": frozenset({"task_id", "gate", "detail"}),
+    "gate_failed": frozenset({"task_id", "gate", "detail"}),
+    # Serving-layer lifecycle (kernelgpt-repro serve --events).
+    "job_admitted": frozenset({"job_id", "kind", "tenant", "label"}),
+    "job_finished": frozenset({"job_id", "ok", "queries"}),
+    "coalescer_flush": frozenset({"submissions", "requests", "distinct"}),
+}
+
+
+def validate_event(record: dict, *, line: int | None = None) -> dict:
+    """Check one event record against :data:`EVENT_SCHEMA`; return it."""
+    if not isinstance(record, dict):
+        raise EventLogError(f"event record is {type(record).__name__}, expected object", line=line)
+    kind = record.get("type")
+    if kind not in EVENT_SCHEMA:
+        raise EventLogError(f"unknown event type {kind!r}", line=line)
+    for field in ("seq", "ts"):
+        if field not in record:
+            raise EventLogError(f"event {kind!r} is missing {field!r}", line=line)
+    missing = sorted(EVENT_SCHEMA[kind] - record.keys())
+    if missing:
+        raise EventLogError(f"event {kind!r} is missing required fields {missing}", line=line)
+    return record
+
+
+def deterministic_view(record: dict) -> dict:
+    """The rule-10 comparable projection of an event: volatile fields dropped."""
+    return {key: value for key, value in record.items() if key not in VOLATILE_FIELDS}
+
+
+class EventLog:
+    """Thread-safe append-only event writer (and in-memory record).
+
+    Events are validated on emit, held in :attr:`events`, and — when a path
+    is given — appended to the file as canonical JSON lines, flushed per
+    event so a crashed run still leaves a readable prefix.
+    """
+
+    def __init__(self, path: str | Path | None = None, *, mirror=None):
+        self.path = Path(path) if path is not None else None
+        self.events: list[dict] = []
+        #: Optional callable invoked with each record after it is written —
+        #: the CLI's stderr progress stream.  Never fed back into the log.
+        self.mirror = mirror
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._handle = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+
+    def emit(self, type: str, **fields) -> dict:
+        """Append one event; returns the full record (with ``seq``/``ts``)."""
+        with self._lock:
+            self._seq += 1
+            record = {"type": type, "seq": self._seq, "ts": round(time.time(), 6), **fields}
+            validate_event(record)
+            self.events.append(record)
+            if self._handle is not None:
+                line = json.dumps(record, sort_keys=True, ensure_ascii=False, separators=(",", ":"))
+                self._handle.write(line + "\n")
+                self._handle.flush()
+        if self.mirror is not None:
+            self.mirror(record)
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Read and schema-validate a JSONL event log."""
+    records: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as error:
+                raise EventLogError(f"event line is not valid JSON: {error}", line=number)
+            records.append(validate_event(record, line=number))
+    return records
+
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "VOLATILE_FIELDS",
+    "EventLog",
+    "validate_event",
+    "deterministic_view",
+    "read_events",
+]

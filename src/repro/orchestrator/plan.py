@@ -1,0 +1,290 @@
+"""Campaign plans: typed task DAGs with canonical per-task input digests.
+
+A campaign models one end-to-end evaluation as a dependency DAG —
+generate → validate/repair → fuzz → per-table report → quality gates —
+instead of the flat per-table loop in :mod:`repro.experiments.runner`.
+Every node is a :class:`CampaignTask` with explicit ``depends_on`` edges, a
+retry budget, and a *canonical input digest*: a SHA-256 over a schema tag,
+the experiment-config digest, the task's identity and parameters, and the
+output digests of its dependencies.  The digest is the unit of staleness —
+a task whose input digest matches a previously recorded run is clean and
+may be served from the artifact store (``task_reused``) instead of
+re-executed, so partial re-runs touch only the dirty subgraph.
+
+Digest conventions mirror :mod:`repro.store.keys`: content digests only
+(never ``hash()``/``id()``), NUL-joined parts under a schema tag that is
+bumped whenever derivation changes (old entries orphan as cold misses, are
+never mis-served).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from ..errors import CampaignPlanError
+from ..experiments.config import ExperimentConfig
+from ..store.keys import StoreKey
+
+#: Bumped whenever task identity, parameter canonicalization, or digest
+#: derivation changes incompatibly.
+CAMPAIGN_SCHEMA = "repro-campaign-v1"
+
+#: Report tasks whose tables exercise the fuzzing substrate; they depend on
+#: the fuzz stage, everything else on validate.
+FUZZ_EXPERIMENTS = frozenset({"table3", "table4", "table5", "table6"})
+
+
+def canonical_json(value) -> str:
+    """Canonical JSON text: sorted keys, no whitespace variance."""
+    return json.dumps(value, sort_keys=True, ensure_ascii=False, separators=(",", ":"))
+
+
+def content_digest(*parts: str) -> str:
+    """SHA-256 over NUL-joined parts, the :mod:`repro.store.keys` construction."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def config_digest(config: ExperimentConfig) -> str:
+    """Digest of everything the experiment config contributes to task inputs."""
+    return content_digest(CAMPAIGN_SCHEMA, "config", canonical_json(asdict(config)))
+
+
+def output_digest(output) -> str:
+    """Digest of a task's (JSON-serializable) output value."""
+    return content_digest(CAMPAIGN_SCHEMA, "output", canonical_json(output))
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One node of a campaign DAG.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so equal
+    parameter dicts always canonicalize — and digest — identically.
+    ``cacheable=False`` (gates) means the task re-executes on every run:
+    verification must observe the present, not a recorded verdict.
+    """
+
+    task_id: str
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+    depends_on: tuple[str, ...] = ()
+    retries: int = 0
+    cacheable: bool = True
+
+    @staticmethod
+    def make(
+        task_id: str,
+        kind: str,
+        params: dict | None = None,
+        *,
+        depends_on: tuple[str, ...] = (),
+        retries: int = 0,
+        cacheable: bool = True,
+    ) -> "CampaignTask":
+        ordered = tuple(sorted((params or {}).items()))
+        return CampaignTask(task_id, kind, ordered, tuple(depends_on), retries, cacheable)
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+
+def task_input_digest(
+    task: CampaignTask, cfg_digest: str, upstream_digests: dict[str, str]
+) -> str:
+    """Canonical input digest: config + task identity + upstream outputs.
+
+    Dependencies contribute in sorted-id order so the digest is a function
+    of the plan, never of scheduling history.
+    """
+    parts = [
+        CAMPAIGN_SCHEMA,
+        cfg_digest,
+        task.task_id,
+        task.kind,
+        canonical_json([[name, value] for name, value in task.params]),
+    ]
+    for dep in sorted(task.depends_on):
+        parts.append(dep)
+        parts.append(upstream_digests[dep])
+    return content_digest(*parts)
+
+
+def campaign_key(task_id: str, input_digest: str) -> StoreKey:
+    """Artifact-store key for one task execution at one input digest."""
+    return StoreKey("campaign", (CAMPAIGN_SCHEMA, task_id, input_digest))
+
+
+class CampaignPlan:
+    """A validated DAG of campaign tasks over one experiment config.
+
+    Construction rejects duplicate ids, unknown dependencies,
+    self-dependencies and cycles with :class:`CampaignPlanError`, so every
+    plan that exists has a deterministic topological order.
+    """
+
+    def __init__(self, tasks: list[CampaignTask], config: ExperimentConfig, *, name: str = "campaign"):
+        self.name = name
+        self.config = config
+        self._by_id: dict[str, CampaignTask] = {}
+        for task in tasks:
+            if task.task_id in self._by_id:
+                raise CampaignPlanError(f"duplicate task id {task.task_id!r}")
+            self._by_id[task.task_id] = task
+        for task in tasks:
+            for dep in task.depends_on:
+                if dep == task.task_id:
+                    raise CampaignPlanError(f"task {task.task_id!r} depends on itself")
+                if dep not in self._by_id:
+                    raise CampaignPlanError(
+                        f"task {task.task_id!r} depends on unknown task {dep!r}"
+                    )
+        self._order = self._topological_sort()
+
+    def _topological_sort(self) -> tuple[CampaignTask, ...]:
+        """Kahn's algorithm with the ready set kept sorted by task id.
+
+        The stable tie-break makes dispatch order a pure function of the
+        plan — the byte-identity anchor for event logs across jobs/executor.
+        """
+        pending = {task_id: set(task.depends_on) for task_id, task in self._by_id.items()}
+        order: list[CampaignTask] = []
+        ready = sorted(task_id for task_id, deps in pending.items() if not deps)
+        while ready:
+            task_id = ready.pop(0)
+            del pending[task_id]
+            order.append(self._by_id[task_id])
+            newly_ready = []
+            for other_id, deps in pending.items():
+                if task_id in deps:
+                    deps.discard(task_id)
+                    if not deps:
+                        newly_ready.append(other_id)
+            ready = sorted(ready + newly_ready)
+        if pending:
+            raise CampaignPlanError(f"dependency cycle involving tasks {sorted(pending)}")
+        return tuple(order)
+
+    def topological_order(self) -> tuple[CampaignTask, ...]:
+        return self._order
+
+    def task(self, task_id: str) -> CampaignTask:
+        return self._by_id[task_id]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._by_id
+
+    @property
+    def tasks(self) -> tuple[CampaignTask, ...]:
+        return self._order
+
+    def config_digest(self) -> str:
+        return config_digest(self.config)
+
+
+def build_campaign_plan(
+    config: ExperimentConfig,
+    *,
+    experiments: list[str] | None = None,
+    retries: int = 1,
+    gates: bool = True,
+    store: str | None = None,
+    bench_dir: str | None = None,
+    fuzz_budget: int = 200,
+) -> CampaignPlan:
+    """The standard evaluation campaign for one config.
+
+    Pipeline stages (generate → validate → fuzz) feed per-experiment report
+    tasks; fuzz-driven tables hang off the fuzz stage, generation tables off
+    validate.  Quality gates — determinism diff, bench floors, and (with a
+    store) ``ArtifactStore.verify`` — are terminal tasks depending on every
+    report, so a gate verdict always describes a complete run.
+    """
+    from ..experiments.runner import EXPERIMENTS
+
+    names = sorted(experiments) if experiments is not None else sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise CampaignPlanError(f"unknown experiments {unknown}; valid: {sorted(EXPERIMENTS)}")
+
+    tasks = [
+        CampaignTask.make("generate", "stage", {"stage": "generate"}, retries=retries),
+        CampaignTask.make(
+            "validate", "stage", {"stage": "validate"}, depends_on=("generate",), retries=retries
+        ),
+    ]
+    need_fuzz = any(name in FUZZ_EXPERIMENTS for name in names)
+    if need_fuzz:
+        tasks.append(
+            CampaignTask.make(
+                "fuzz",
+                "stage",
+                {"stage": "fuzz", "budget": fuzz_budget},
+                depends_on=("validate",),
+                retries=retries,
+            )
+        )
+    report_ids = []
+    for name in names:
+        upstream = "fuzz" if name in FUZZ_EXPERIMENTS else "validate"
+        task_id = f"report:{name}"
+        report_ids.append(task_id)
+        tasks.append(
+            CampaignTask.make(
+                task_id, "report", {"experiment": name}, depends_on=(upstream,), retries=retries
+            )
+        )
+    if gates:
+        terminal = tuple(report_ids)
+        tasks.append(
+            CampaignTask.make(
+                "gate:determinism",
+                "gate",
+                {"gate": "determinism"},
+                depends_on=terminal,
+                cacheable=False,
+            )
+        )
+        tasks.append(
+            CampaignTask.make(
+                "gate:bench_floors",
+                "gate",
+                {"gate": "bench_floors", "bench_dir": bench_dir},
+                depends_on=terminal,
+                cacheable=False,
+            )
+        )
+        if store is not None:
+            tasks.append(
+                CampaignTask.make(
+                    "gate:store_verify",
+                    "gate",
+                    {"gate": "store_verify", "store": store},
+                    depends_on=terminal,
+                    cacheable=False,
+                )
+            )
+    return CampaignPlan(tasks, config)
+
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "FUZZ_EXPERIMENTS",
+    "CampaignPlan",
+    "CampaignTask",
+    "build_campaign_plan",
+    "campaign_key",
+    "canonical_json",
+    "config_digest",
+    "content_digest",
+    "output_digest",
+    "task_input_digest",
+]

@@ -89,6 +89,9 @@ def serve_main(argv: list[str] | None = None) -> int:
                              "survive service restarts")
     parser.add_argument("--output", type=Path, default=None,
                         help="directory for experiment-job result files (CLI-identical bytes)")
+    parser.add_argument("--events", type=Path, default=None, metavar="FILE",
+                        help="append a schema'd JSONL event log (job admission/flush/"
+                             "completion) to FILE — the same format as campaign --events")
     parser.add_argument("--profile", action="store_true",
                         help="print per-job cache statistics and the coalescer summary")
     args = parser.parse_args(argv)
@@ -114,6 +117,15 @@ def serve_main(argv: list[str] | None = None) -> int:
         tenant_budgets=tenant_budgets,
         store=args.store,
     )
+    event_log = None
+    if args.events is not None:
+        # The orchestrator's event log doubles as the service's: same JSONL
+        # schema, serve-specific event types, so CI asserts on events here
+        # too instead of scraping --profile output.
+        from ..orchestrator.events import EventLog
+
+        event_log = EventLog(args.events)
+        service.coalescer.observer = lambda info: event_log.emit("coalescer_flush", **info)
     failures = 0
     try:
         try:
@@ -121,7 +133,28 @@ def serve_main(argv: list[str] | None = None) -> int:
         except AdmissionError as error:
             print(f"admission refused: {error}", file=sys.stderr)
             return 2
+        if event_log is not None:
+            for handle in handles:
+                event_log.emit(
+                    "job_admitted",
+                    job_id=handle.job_id,
+                    kind=handle.job.kind,
+                    tenant=handle.job.tenant,
+                    label=handle.job.describe(),
+                )
         results = [handle.wait() for handle in handles]
+        if event_log is not None:
+            for result in results:
+                event_log.emit(
+                    "job_finished",
+                    job_id=result.job_id,
+                    ok=result.error is None,
+                    queries=result.queries,
+                    duration=round(result.duration, 6),
+                    saved_by_coalescing=result.coalescing.get(
+                        "queries_saved_by_coalescing", 0
+                    ),
+                )
         for result in results:
             print(f"=== {result.job_id} {result.label} (tenant={result.tenant})")
             for event in result.events:
@@ -145,6 +178,8 @@ def serve_main(argv: list[str] | None = None) -> int:
         return 2
     finally:
         service.close()
+        if event_log is not None:
+            event_log.close()
     return 1 if failures else 0
 
 

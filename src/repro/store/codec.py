@@ -1,10 +1,10 @@
 """Serialization of artifacts to and from store blobs.
 
-Each kind gets the narrowest stable encoding available: completions are
-canonical JSON (sorted keys, no whitespace variance — byte-identical for
-equal values on every interpreter), extractor results are plain UTF-8, and
-everything else (generation sessions, coverage bitmaps) is pickle at a
-pinned protocol.  A four-byte magic prefix names the encoding so a blob
+Each kind gets the narrowest stable encoding available: completions and
+campaign task outputs are canonical JSON (sorted keys, no whitespace
+variance — byte-identical for equal values on every interpreter), extractor
+results are plain UTF-8, and everything else (generation sessions, coverage
+bitmaps) is pickle at a pinned protocol.  A four-byte magic prefix names the encoding so a blob
 reached through the wrong kind fails loudly as :class:`StoreCorruption`
 instead of being misdecoded.
 
@@ -49,12 +49,21 @@ def encode_artifact(kind: str, value) -> bytes:
         if not isinstance(value, str):
             raise TypeError(f"extract artifacts store str, got {type(value).__name__}")
         return _MAGIC_TEXT + value.encode("utf-8")
+    if kind == "campaign":
+        if not isinstance(value, dict):
+            raise TypeError(f"campaign artifacts store dicts, got {type(value).__name__}")
+        body = json.dumps(value, sort_keys=True, ensure_ascii=False, separators=(",", ":"))
+        return _MAGIC_JSON + body.encode("utf-8")
     return _MAGIC_PICKLE + pickle.dumps(value, protocol=PICKLE_PROTOCOL)
 
 
 def decode_artifact(kind: str, payload: bytes, *, key: str | None = None):
     """Deserialize a verified blob back into its artifact value."""
-    expected = _MAGIC_JSON if kind == "llm" else _MAGIC_TEXT if kind == "extract" else _MAGIC_PICKLE
+    expected = (
+        _MAGIC_JSON
+        if kind in ("llm", "campaign")
+        else _MAGIC_TEXT if kind == "extract" else _MAGIC_PICKLE
+    )
     if not payload.startswith(expected):
         raise StoreCorruption(
             f"artifact of kind {kind!r} has wrong encoding magic "
@@ -73,6 +82,16 @@ def decode_artifact(kind: str, payload: bytes, *, key: str | None = None):
             return body.decode("utf-8")
         except UnicodeDecodeError as error:
             raise StoreCorruption(f"extract artifact body is not UTF-8: {error}", key=key)
+    if kind == "campaign":
+        try:
+            value = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise StoreCorruption(f"campaign artifact body is not valid JSON: {error}", key=key)
+        if not isinstance(value, dict):
+            raise StoreCorruption(
+                f"campaign artifact body is {type(value).__name__}, expected object", key=key
+            )
+        return value
     try:
         return pickle.loads(body)
     except Exception as error:  # pickle raises a zoo of types on bad input

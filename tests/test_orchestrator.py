@@ -1,0 +1,414 @@
+"""Campaign orchestrator: DAG scheduling, gates, events, partial re-runs.
+
+The orchestration contract in four parts.  (1) Dispatch is deterministic:
+topological order with a stable tie-break by task id, so event sequences
+and rendered outputs are byte-identical across jobs × executor.  (2)
+Failure is typed: retry budgets exhaust into ``CampaignTaskFailed``,
+downstream tasks skip, failing gates raise ``CampaignGateFailed``.  (3)
+The event log is schema'd: every emitted event validates, round-trips
+through the JSONL file, and splits cleanly into volatile (timing) and
+deterministic fields — determinism rule 10.  (4) Re-runs are digest-keyed:
+against the same artifact store, clean tasks are served as ``task_reused``
+and only the dirty subgraph re-executes.
+
+Executors are constructed explicitly (as in the determinism matrix) so the
+process cells exercise a real pool even on a single-core CI host.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    ExecutionEngine,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+)
+from repro.errors import (
+    CampaignGateFailed,
+    CampaignPlanError,
+    CampaignTaskFailed,
+    EventLogError,
+    StoreCorruption,
+)
+from repro.experiments.config import quick
+from repro.orchestrator import (
+    CampaignPlan,
+    CampaignTask,
+    EventLog,
+    build_campaign_plan,
+    campaign_key,
+    deterministic_view,
+    read_events,
+    run_campaign_plan,
+    task_input_digest,
+)
+from repro.orchestrator.events import EVENT_SCHEMA, VOLATILE_FIELDS, validate_event
+from repro.orchestrator.verifier import bench_floor_gate, store_verify_gate
+from repro.store import ArtifactStore
+
+
+def _engine(kind: str, jobs: int) -> ExecutionEngine:
+    if kind == "serial" or jobs <= 1:
+        executor = SerialExecutor()
+    elif kind == "thread":
+        executor = ThreadPoolExecutor(jobs)
+    else:
+        executor = ProcessPoolExecutor(jobs)
+    return ExecutionEngine(jobs=jobs, executor=executor)
+
+
+def _echo_plan(text_for: dict[str, str] | None = None) -> CampaignPlan:
+    """A diamond DAG of cheap echo tasks: a → {b, c} → d."""
+    texts = text_for or {}
+    tasks = [
+        CampaignTask.make("a", "echo", {"text": texts.get("a", "A")}),
+        CampaignTask.make("b", "echo", {"text": texts.get("b", "B")}, depends_on=("a",)),
+        CampaignTask.make("c", "echo", {"text": texts.get("c", "C")}, depends_on=("a",)),
+        CampaignTask.make("d", "echo", {"text": texts.get("d", "D")}, depends_on=("b", "c")),
+    ]
+    return CampaignPlan(tasks, quick())
+
+
+# ------------------------------------------------------------------ plans
+class TestCampaignPlan:
+    def test_topological_order_with_stable_tiebreak(self):
+        # Ready tasks dispatch in task-id order, not insertion order.
+        tasks = [
+            CampaignTask.make("z-root", "echo"),
+            CampaignTask.make("a-root", "echo"),
+            CampaignTask.make("m-leaf", "echo", depends_on=("z-root", "a-root")),
+        ]
+        plan = CampaignPlan(tasks, quick())
+        assert [task.task_id for task in plan.topological_order()] == [
+            "a-root", "z-root", "m-leaf",
+        ]
+
+    def test_duplicate_task_id_rejected(self):
+        tasks = [CampaignTask.make("a", "echo"), CampaignTask.make("a", "echo")]
+        with pytest.raises(CampaignPlanError, match="duplicate"):
+            CampaignPlan(tasks, quick())
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(CampaignPlanError, match="unknown task"):
+            CampaignPlan([CampaignTask.make("a", "echo", depends_on=("ghost",))], quick())
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(CampaignPlanError, match="itself"):
+            CampaignPlan([CampaignTask.make("a", "echo", depends_on=("a",))], quick())
+
+    def test_cycle_rejected(self):
+        tasks = [
+            CampaignTask.make("a", "echo", depends_on=("b",)),
+            CampaignTask.make("b", "echo", depends_on=("a",)),
+        ]
+        with pytest.raises(CampaignPlanError, match="cycle"):
+            CampaignPlan(tasks, quick())
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(CampaignPlanError, match="unknown experiments"):
+            build_campaign_plan(quick(), experiments=["table99"])
+
+    def test_standard_plan_shape(self):
+        plan = build_campaign_plan(quick(), store="somewhere")
+        ids = [task.task_id for task in plan.topological_order()]
+        assert ids[0] == "generate"
+        assert set(ids[-3:]) == {"gate:determinism", "gate:bench_floors", "gate:store_verify"}
+        # Fuzz-driven tables hang off the fuzz stage, generation tables off
+        # validate; gates depend on every report and never cache.
+        assert plan.task("report:table5").depends_on == ("fuzz",)
+        assert plan.task("report:figure7").depends_on == ("validate",)
+        assert len(plan.task("gate:determinism").depends_on) == 9
+        assert not plan.task("gate:determinism").cacheable
+
+    def test_input_digest_depends_on_upstream_outputs(self):
+        plan = _echo_plan()
+        cfg = plan.config_digest()
+        task = plan.task("b")
+        one = task_input_digest(task, cfg, {"a": "digest-one"})
+        two = task_input_digest(task, cfg, {"a": "digest-two"})
+        assert one != two
+        assert task_input_digest(task, cfg, {"a": "digest-one"}) == one
+
+
+# ------------------------------------------------------- dispatch determinism
+class TestDeterministicDispatch:
+    MATRIX = [(1, "serial"), (1, "thread"), (1, "process"),
+              (4, "serial"), (4, "thread"), (4, "process")]
+
+    def _run(self, jobs: int, kind: str):
+        log = EventLog()
+        result = run_campaign_plan(_echo_plan(), engine=_engine(kind, jobs), events=log)
+        assert result.passed
+        views = [deterministic_view(event) for event in log.events]
+        outputs = {task_id: outcome.output for task_id, outcome in result.outcomes.items()}
+        return views, outputs
+
+    def test_event_log_and_outputs_identical_across_jobs_and_executors(self):
+        baseline_views, baseline_outputs = self._run(*self.MATRIX[0])
+        started = [view["task_id"] for view in baseline_views if view["type"] == "task_started"]
+        assert started == ["a", "b", "c", "d"]
+        for jobs, kind in self.MATRIX[1:]:
+            views, outputs = self._run(jobs, kind)
+            assert views == baseline_views, (jobs, kind)
+            assert outputs == baseline_outputs, (jobs, kind)
+
+    @pytest.mark.parametrize("jobs,kind", [(1, "serial"), (4, "thread"), (4, "process")])
+    def test_real_experiment_subset_byte_identical(self, jobs, kind, tmp_path):
+        # A real (quick-preset) campaign slice: generate → validate →
+        # report:figure7, no gates.  The rendered table must be
+        # byte-identical at every cell, and so must the deterministic view
+        # of the event log (rule 10).
+        plan = build_campaign_plan(quick(), experiments=["figure7"], gates=False)
+        log = EventLog(tmp_path / f"events-{jobs}-{kind}.jsonl")
+        result = run_campaign_plan(plan, engine=_engine(kind, jobs), events=log)
+        assert result.passed
+        text = result.output("report:figure7")["text"]
+        views = [deterministic_view(event) for event in log.events]
+        if not hasattr(type(self), "_baseline"):
+            type(self)._baseline = (text, views)
+        else:
+            assert (text, views) == type(self)._baseline, (jobs, kind)
+
+
+# ---------------------------------------------------------- retries/failure
+class TestRetriesAndFailure:
+    def test_retry_budget_exhaustion_is_typed(self):
+        tasks = [
+            CampaignTask.make("flaky", "fail_until", {"succeed_at": 10}, retries=1),
+            CampaignTask.make("downstream", "echo", depends_on=("flaky",)),
+        ]
+        log = EventLog()
+        result = run_campaign_plan(CampaignPlan(tasks, quick()), events=log)
+        assert not result.passed
+        assert result.skipped["downstream"] == ("flaky",)
+        types = [event["type"] for event in log.events]
+        assert types.count("task_retried") == 1
+        assert types.count("task_failed") == 1
+        assert "task_skipped" in types
+        with pytest.raises(CampaignTaskFailed) as excinfo:
+            result.raise_for_status()
+        assert excinfo.value.task_id == "flaky"
+        assert excinfo.value.attempts == 2  # retries=1 → two attempts
+
+    def test_retry_budget_recovers_within_budget(self):
+        tasks = [CampaignTask.make("flaky", "fail_until", {"succeed_at": 2}, retries=2)]
+        log = EventLog()
+        result = run_campaign_plan(CampaignPlan(tasks, quick()), events=log)
+        assert result.passed
+        assert result.outcomes["flaky"].attempts == 2
+        types = [event["type"] for event in log.events]
+        assert types.count("task_retried") == 1
+        assert types.count("task_finished") == 1
+
+
+# ------------------------------------------------------------------- gates
+class TestGates:
+    def _failing_bench_dir(self, tmp_path):
+        bench = tmp_path / "bench"
+        bench.mkdir()
+        (bench / "BENCH_broken.json").write_text(json.dumps({
+            "benchmark": "campaign-orchestrator",
+            "rows": [{"reuse_speedup": 1.0, "check_floor": 2.0}],
+        }))
+        return bench
+
+    def test_gate_failure_fails_campaign(self, tmp_path):
+        tasks = [
+            CampaignTask.make("a", "echo", {"text": "A"}),
+            CampaignTask.make(
+                "gate:bench_floors", "gate",
+                {"gate": "bench_floors", "bench_dir": str(self._failing_bench_dir(tmp_path))},
+                depends_on=("a",), cacheable=False,
+            ),
+        ]
+        log = EventLog()
+        result = run_campaign_plan(CampaignPlan(tasks, quick()), events=log)
+        assert result.failed_gates == ("gate:bench_floors",)
+        assert not result.passed
+        assert [e["type"] for e in log.events if e["type"].startswith("gate_")] == ["gate_failed"]
+        with pytest.raises(CampaignGateFailed) as excinfo:
+            result.raise_for_status()
+        assert excinfo.value.gates == ("gate:bench_floors",)
+        assert "headline 1.00" in excinfo.value.details["gate:bench_floors"]
+
+    def test_bench_floor_gate_vacuous_pass_without_trajectories(self, tmp_path):
+        verdict = bench_floor_gate(str(tmp_path / "nowhere"))
+        assert verdict.passed and "vacuous" in verdict.detail
+
+    def test_bench_floor_gate_passes_at_floor(self, tmp_path):
+        bench = tmp_path / "bench"
+        bench.mkdir()
+        (bench / "BENCH_ok.json").write_text(json.dumps({
+            "benchmark": "campaign-orchestrator",
+            "rows": [{"reuse_speedup": 2.0, "check_floor": 2.0}],
+        }))
+        verdict = bench_floor_gate(str(bench))
+        assert verdict.passed
+        assert verdict.metrics["trajectories"]["BENCH_ok.json"]["headline"] == 2.0
+
+    def test_store_verify_gate(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.save(campaign_key("a", "digest"), {"echo": "A"})
+        verdict = store_verify_gate(str(tmp_path / "store"))
+        assert verdict.passed and verdict.metrics["artifacts"] == 1
+        # Corrupt the blob: the gate must fail with the corruption detail.
+        blobs = list((tmp_path / "store" / "objects").iterdir())
+        blobs[0].write_bytes(b"garbage")
+        verdict = store_verify_gate(str(tmp_path / "store"))
+        assert not verdict.passed and "StoreCorruption" in verdict.detail
+
+
+# ------------------------------------------------------------------ events
+class TestEventLog:
+    def test_schema_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("campaign_started", campaign="test", config_digest="abc", tasks=2)
+            log.emit("task_scheduled", task_id="a", digest="d1")
+            log.emit("task_started", task_id="a", digest="d1", attempt=1)
+            log.emit("task_finished", task_id="a", digest="d1", output_digest="o1",
+                     attempt=1, duration=0.5)
+            log.emit("gate_passed", task_id="gate:x", gate="x", detail="ok")
+            log.emit("campaign_finished", passed=True, executed=1, reused=0,
+                     failed=0, gates_failed=0, wall=1.0)
+        records = read_events(path)
+        assert records == log.events
+        assert [record["seq"] for record in records] == [1, 2, 3, 4, 5, 6]
+
+    def test_unknown_event_type_rejected(self):
+        log = EventLog()
+        with pytest.raises(EventLogError, match="unknown event type"):
+            log.emit("task_teleported", task_id="a")
+
+    def test_missing_required_field_rejected(self):
+        log = EventLog()
+        with pytest.raises(EventLogError, match="missing required fields"):
+            log.emit("task_started", task_id="a")  # no digest/attempt
+
+    def test_reader_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"type": "task_scheduled", "seq": 1, "ts": 0.0}\n')
+        with pytest.raises(EventLogError, match="line 1"):
+            read_events(path)
+        path.write_text("not json\n")
+        with pytest.raises(EventLogError, match="not valid JSON"):
+            read_events(path)
+
+    def test_deterministic_view_strips_only_volatile_fields(self):
+        record = validate_event({
+            "type": "task_finished", "seq": 3, "ts": 123.0, "task_id": "a",
+            "digest": "d", "output_digest": "o", "attempt": 1,
+            "duration": 0.25, "worker": "w-1",
+        })
+        view = deterministic_view(record)
+        assert view == {"type": "task_finished", "seq": 3, "task_id": "a",
+                        "digest": "d", "output_digest": "o", "attempt": 1}
+        assert set(record) - set(view) <= VOLATILE_FIELDS
+        # Every schema'd required field survives except the volatile ones.
+        for kind, required in EVENT_SCHEMA.items():
+            assert required - VOLATILE_FIELDS, kind
+
+
+# ------------------------------------------------------------ partial re-runs
+class TestPartialRerun:
+    def test_second_run_reuses_every_clean_task(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        first = run_campaign_plan(_echo_plan(), store=store)
+        assert first.executed == 4 and first.reused == 0
+        log = EventLog()
+        second = run_campaign_plan(_echo_plan(), store=store, events=log)
+        assert second.reused == 4 and second.executed == 0
+        reused = [event["task_id"] for event in log.events if event["type"] == "task_reused"]
+        assert reused == ["a", "b", "c", "d"]
+        assert second.outcomes["d"].output == first.outcomes["d"].output
+
+    def test_dirty_subgraph_reexecutes_clean_siblings_reuse(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        run_campaign_plan(_echo_plan(), store=store)
+        # Dirty b (new params): b and its dependant d must re-execute; a and
+        # the untouched sibling c stay clean and load from the store.
+        log = EventLog()
+        result = run_campaign_plan(_echo_plan({"b": "B2"}), store=store, events=log)
+        assert result.passed
+        reused = sorted(e["task_id"] for e in log.events if e["type"] == "task_reused")
+        executed = sorted(e["task_id"] for e in log.events if e["type"] == "task_started")
+        assert reused == ["a", "c"]
+        assert executed == ["b", "d"]
+        assert result.outcomes["d"].output["upstream"] == ["b", "c"]
+
+    def test_gates_never_reuse(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        tasks = [
+            CampaignTask.make("a", "echo", {"text": "A"}),
+            CampaignTask.make("gate:bench_floors", "gate",
+                              {"gate": "bench_floors",
+                               "bench_dir": str(tmp_path / "missing")},
+                              depends_on=("a",), cacheable=False),
+        ]
+        run_campaign_plan(CampaignPlan(tasks, quick()), store=store)
+        log = EventLog()
+        second = run_campaign_plan(CampaignPlan(tasks, quick()), store=store, events=log)
+        assert second.passed
+        reused = [e["task_id"] for e in log.events if e["type"] == "task_reused"]
+        started = [e["task_id"] for e in log.events if e["type"] == "task_started"]
+        assert reused == ["a"]
+        assert started == ["gate:bench_floors"]
+
+
+# ----------------------------------------------------------------- storage
+class TestCampaignArtifacts:
+    def test_campaign_codec_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = campaign_key("report:table1", "digest")
+        value = {"experiment": "table1", "text": "t", "audit": "a", "n": 3}
+        store.save(key, value)
+        assert store.load(key) == value
+
+    def test_campaign_codec_rejects_wrong_magic(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = campaign_key("x", "digest")
+        store.put_bytes(key, b"RSP1\n" + b"pickle-bytes")
+        with pytest.raises(StoreCorruption, match="wrong encoding magic"):
+            store.load(key)
+
+
+# --------------------------------------------------------------------- CLI
+class TestCampaignCLI:
+    def test_campaign_cli_writes_outputs_and_events(self, tmp_path, capsys):
+        from repro.orchestrator.cli import campaign_main
+
+        code = campaign_main([
+            "--preset", "quick", "-e", "figure7", "--no-gates",
+            "--events", str(tmp_path / "events.jsonl"),
+            "--output", str(tmp_path / "out"),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        rendered = (tmp_path / "out" / "figure7.txt").read_text()
+        assert stdout == rendered + "\n"
+        events = read_events(tmp_path / "events.jsonl")
+        assert events[0]["type"] == "campaign_started"
+        assert events[-1]["type"] == "campaign_finished" and events[-1]["passed"]
+
+    def test_campaign_cli_gate_failure_exits_nonzero(self, tmp_path, capsys):
+        from repro.orchestrator.cli import campaign_main
+
+        bench = tmp_path / "bench"
+        bench.mkdir()
+        (bench / "BENCH_broken.json").write_text(json.dumps({
+            "benchmark": "campaign-orchestrator",
+            "rows": [{"reuse_speedup": 1.0, "check_floor": 2.0}],
+        }))
+        code = campaign_main([
+            "--preset", "quick", "-e", "figure7",
+            "--bench", str(bench),
+            "--events", str(tmp_path / "events.jsonl"),
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "campaign failed" in captured.err
+        events = read_events(tmp_path / "events.jsonl")
+        failed = [e for e in events if e["type"] == "gate_failed"]
+        assert [e["gate"] for e in failed] == ["bench_floors"]
