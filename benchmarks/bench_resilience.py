@@ -1,0 +1,172 @@
+"""Benchmark: what the resilience wrapper costs when nothing goes wrong.
+
+The workload is a full KernelGPT generation run over the determinism-matrix
+handlers, measured two ways in the same process:
+
+* **bare**: the plain oracle backend — the historical fault-free path;
+* **wrapped**: ``ResilientBackend(FaultyBackend(oracle, rate=0))`` — the
+  whole resilience stack armed but idle, exactly what ``--fault-plan
+  rate=0`` (or ``--retry`` alone) costs production runs.
+
+Before timing is reported the two paths are asserted *exactly* equivalent:
+byte-identical suites and an identical backend query count (the wrapper adds
+zero extra round-trips at rate 0 — retries only ever re-send failed
+sub-batches, and there are none).  The headline is ``overhead_pct``, the
+best-of-N wall-clock cost of the idle wrapper; a chaos row at 20% faults is
+also measured for the record (its ``retries`` count shows the machinery
+actually engaged) but is not gated — convergence cost under chaos is policy,
+not overhead.
+
+CI usage (the chaos-smoke job)::
+
+    python benchmarks/bench_resilience.py --check benchmarks/BENCH_resilience.json \
+        --json BENCH_resilience.json
+
+``--check`` exits non-zero when the measured idle overhead exceeds the
+recorded trajectory's ``check_ceiling``; ``--json`` writes the measured row
+for the artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core import KernelGPT  # noqa: E402
+from repro.extractor import KernelExtractor  # noqa: E402
+from repro.kernel import build_default_kernel  # noqa: E402
+from repro.llm import (  # noqa: E402
+    FaultPlan,
+    FaultyBackend,
+    OracleBackend,
+    ResilientBackend,
+)
+
+HANDLERS = ["dm_ctl_fops", "cec_devnode_fops", "rds_proto_ops", "udmabuf_fops"]
+
+
+def _wrapped(rate: float, seed: int = 7) -> ResilientBackend:
+    return ResilientBackend(FaultyBackend(OracleBackend(), FaultPlan(rate=rate, seed=seed)))
+
+
+def _run_once(kernel, extractor, backend, scale: int) -> tuple[float, dict, int, int]:
+    """``scale`` fresh generation runs on one backend; returns
+    (wall_s, suites, queries_per_run, retries).  A fresh :class:`KernelGPT`
+    per iteration defeats the memo caches, so each iteration replays the
+    full query stream — the loop amortizes timer noise, not work."""
+    started = time.perf_counter()
+    for _ in range(scale):
+        generator = KernelGPT(kernel, backend, extractor=extractor)
+        run = generator.generate_for_handlers(HANDLERS)
+    wall = time.perf_counter() - started
+    suites = {handler: result.suite_text() for handler, result in run.results.items()}
+    retries = backend.stats.retries if isinstance(backend, ResilientBackend) else 0
+    assert backend.usage.queries % scale == 0, "iterations issued unequal query streams"
+    return wall, suites, backend.usage.queries // scale, retries
+
+
+def measure(repetitions: int, scale: int) -> dict:
+    kernel = build_default_kernel("small")
+    extractor = KernelExtractor(kernel)
+
+    bare_walls, wrapped_walls, chaos_walls = [], [], []
+    baseline = None
+    chaos_retries = 0
+    # Interleave the flavours so drift (thermal, allocator warm-up) hits all
+    # of them equally; best-of-N then discards the noise.
+    for _ in range(repetitions):
+        wall, suites, queries, _ = _run_once(kernel, extractor, OracleBackend(), scale)
+        bare_walls.append(wall)
+        if baseline is None:
+            baseline = (suites, queries)
+        assert (suites, queries) == baseline, "bare runs diverged"
+
+        wall, suites, queries, retries = _run_once(
+            kernel, extractor, _wrapped(rate=0.0), scale
+        )
+        wrapped_walls.append(wall)
+        assert suites == baseline[0], "idle wrapper changed output bytes"
+        assert queries == baseline[1], "idle wrapper added backend round-trips"
+        assert retries == 0, "idle wrapper retried without faults"
+
+        wall, suites, queries, retries = _run_once(
+            kernel, extractor, _wrapped(rate=0.2), scale
+        )
+        chaos_walls.append(wall)
+        assert suites == baseline[0], "chaos run failed to converge to baseline bytes"
+        assert queries == baseline[1], "chaos run double-charged converged queries"
+        chaos_retries = max(chaos_retries, retries)
+    assert chaos_retries > 0, "20% chaos injected no faults — dead machinery?"
+
+    bare, wrapped, chaos = min(bare_walls), min(wrapped_walls), min(chaos_walls)
+    return {
+        "handlers": len(HANDLERS),
+        "queries": baseline[1],
+        "repetitions": repetitions,
+        "scale": scale,
+        "bare_wall_s": round(bare, 4),
+        "wrapped_wall_s": round(wrapped, 4),
+        "overhead_pct": round((wrapped / bare - 1.0) * 100, 2),
+        "chaos_wall_s": round(chaos, 4),
+        "chaos_retries": chaos_retries,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Resilience wrapper benchmark: idle overhead at fault rate 0"
+    )
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="interleaved runs per flavour; best-of-N is reported")
+    parser.add_argument("--scale", type=int, default=25,
+                        help="generation runs per timed measurement (amortizes "
+                             "timer noise on the ~15ms single-run workload)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the measured trajectory row to this JSON file")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="fail if idle overhead exceeds the recorded "
+                             "trajectory's check_ceiling in this JSON file")
+    args = parser.parse_args(argv)
+
+    row = measure(args.repetitions, args.scale)
+    print(f"generation x{row['handlers']} handlers ({row['queries']} queries): "
+          f"bare {row['bare_wall_s']:.2f}s  idle-wrapped {row['wrapped_wall_s']:.2f}s "
+          f"(overhead {row['overhead_pct']:+.2f}%)  "
+          f"20%-chaos {row['chaos_wall_s']:.2f}s with {row['chaos_retries']} retries "
+          f"(byte-identical, zero extra round-trips)")
+
+    exit_code = 0
+    if args.check is not None:
+        recorded = json.loads(args.check.read_text())
+        ceiling = recorded["rows"][-1].get("check_ceiling", 5.0)
+        measured = row["overhead_pct"]
+        if measured > ceiling:
+            print(f"FAIL: measured idle overhead {measured:.2f}% exceeds the recorded "
+                  f"ceiling {ceiling:.2f}%", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"check ok: {measured:.2f}% <= ceiling {ceiling:.2f}%")
+    if args.json is not None:
+        # The ceiling for future --check runs: the 2% design budget, widened
+        # only if this machine already measured noisier-than-budget.
+        row["check_ceiling"] = max(5.0, round(row["overhead_pct"] * 2.5, 2))
+        payload = {"benchmark": "resilience-overhead", "rows": [row]}
+        if args.json.exists():
+            try:
+                existing = json.loads(args.json.read_text())
+                payload["rows"] = existing.get("rows", []) + payload["rows"]
+            except (ValueError, KeyError):
+                pass
+        args.json.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote trajectory row to {args.json}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,6 +68,125 @@ class LLMBudgetExceeded(LLMError):
     """Raised when a backend exceeds its configured token or query budget."""
 
 
+class BackendError(LLMError):
+    """Base class for backend serving faults (the resilience-layer taxonomy).
+
+    A plain ``BackendError`` is **permanent**: retrying the same request
+    cannot help (authentication failure, an invalid model, a request the
+    provider rejects deterministically), so retry layers fail fast on it.
+    Transient faults derive from :class:`TransientBackendError` instead.
+
+    Batch state
+    -----------
+    A failing ``complete_batch`` may have served part of its batch before
+    the fault.  Raisers attach that partial outcome via
+    :meth:`attach_batch_state` so retry layers re-send only what failed:
+
+    ``served``
+        ``{position: Completion}`` for requests that completed, positions
+        relative to the request sequence passed to the *raising*
+        ``complete_batch`` call.  Served requests are already metered and
+        budget-charged; re-sending them would double-charge.
+    ``failed``
+        ``((position, error), ...)`` for requests that did not complete, in
+        batch order.  ``None`` (alongside ``served is None``) means the
+        raiser carried no batch state and the whole batch must be treated
+        as failed.
+    """
+
+    #: Class-level default; instances never mutate the class attributes.
+    served: "dict[int, object] | None" = None
+    failed: "tuple[tuple[int, BaseException], ...] | None" = None
+    #: Retry layers stamp how many attempts were made before giving up.
+    attempts: int | None = None
+
+    def __init__(self, message: str, *, route: str | None = None, subject: str | None = None):
+        self.route = route
+        self.subject = subject
+        super().__init__(message)
+
+    @property
+    def is_transient(self) -> bool:
+        """Whether a retry of the same request can succeed."""
+        return isinstance(self, TransientBackendError)
+
+    def attach_batch_state(
+        self,
+        served: "dict[int, object]",
+        failed: "tuple[tuple[int, BaseException], ...]",
+    ) -> None:
+        """Record the partial outcome of the batch this error aborted."""
+        self.served = dict(served)
+        self.failed = tuple(failed)
+
+
+class TransientBackendError(BackendError):
+    """A backend fault that a retry of the same request can repair."""
+
+
+class BackendTimeout(TransientBackendError):
+    """The backend did not answer within its deadline.
+
+    Attributes
+    ----------
+    timeout:
+        The deadline that elapsed, in seconds, when known.
+    """
+
+    def __init__(self, message: str, *, timeout: float | None = None, **context):
+        self.timeout = timeout
+        super().__init__(message, **context)
+
+
+class RateLimited(TransientBackendError):
+    """The backend shed load; ``retry_after`` is its requested back-off.
+
+    Attributes
+    ----------
+    retry_after:
+        Seconds the backend asked the caller to wait before retrying;
+        retry policies honour it as a lower bound on their computed delay.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0, **context):
+        self.retry_after = retry_after
+        super().__init__(message, **context)
+
+
+class MalformedReply(TransientBackendError):
+    """The backend answered, but with a truncated or unparseable reply.
+
+    Classified transient: completions are sampled, so re-asking the same
+    prompt is expected to produce a well-formed reply — which is also what
+    makes chaos runs converge to the fault-free output.
+
+    Attributes
+    ----------
+    excerpt:
+        A short prefix of the malformed reply text, when known.
+    """
+
+    def __init__(self, message: str, *, excerpt: str | None = None, **context):
+        self.excerpt = excerpt
+        super().__init__(message, **context)
+
+
+def is_transient_fault(error: BaseException) -> bool:
+    """True for faults a retry can repair (:class:`TransientBackendError`)."""
+    return isinstance(error, TransientBackendError)
+
+
+def is_permanent_fault(error: BaseException) -> bool:
+    """True for classified-permanent backend faults (retrying cannot help).
+
+    Only a :class:`BackendError` that is *not* transient counts: unclassified
+    exceptions (a ``RuntimeError`` from a task body) are not "permanent
+    backend faults" — retry-budget layers keep their historical behaviour
+    for those.
+    """
+    return isinstance(error, BackendError) and not error.is_transient
+
+
 class GenerationError(ReproError):
     """Raised when the specification-generation pipeline fails irrecoverably."""
 
@@ -117,6 +236,28 @@ class StoreCorruption(StoreError):
     def __init__(self, message: str, *, path: str | None = None, key: str | None = None):
         self.path = path
         self.key = key
+        super().__init__(message)
+
+
+class StoreLockTimeout(StoreError):
+    """Raised when the store's inter-process ``flock`` cannot be acquired in time.
+
+    The store's advisory lock is held only around manifest reads/appends, so
+    contention is normally milliseconds; a bounded wait turns a crashed or
+    wedged lock holder into a typed, diagnosable error instead of an
+    indefinite cross-process hang.
+
+    Attributes
+    ----------
+    path:
+        Filesystem path of the lock file.
+    timeout:
+        Seconds waited before giving up.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None, timeout: float | None = None):
+        self.path = path
+        self.timeout = timeout
         super().__init__(message)
 
 

@@ -42,6 +42,20 @@ class ExperimentConfig:
     #: from the runner's repeatable --route KIND=PROFILE flag; stored as a
     #: sorted tuple of pairs so configs stay hashable and comparable.
     route_table: tuple[tuple[str, str], ...] | None = None
+    #: Deterministic fault-injection plan for the analysis backend, as a
+    #: :meth:`repro.llm.FaultPlan.parse` spec (e.g. ``"rate=0.2,seed=7"``).
+    #: None runs fault-free.  Set from the ``--fault-plan`` flag.
+    fault_plan: str | None = None
+    #: Retry policy spec for the resilient backend wrapper, as a
+    #: :meth:`repro.llm.RetryPolicy.parse` spec (e.g. ``"attempts=6"``),
+    #: ``"off"`` to disable retries even under faults, or None for the
+    #: default policy (applied only when a fault plan is active).  Set from
+    #: the ``--retry`` flag.
+    retry_spec: str | None = None
+    #: Consecutive-failure threshold for per-member circuit breakers in
+    #: BackendPools built from this config; None leaves breakers off (the
+    #: historical pool behavior).  Set from the ``--breaker-threshold`` flag.
+    breaker_threshold: int | None = None
     seed: int = 2025
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":

@@ -25,7 +25,7 @@ from ..core import GenerationRun, KernelGPT, TargetSelection, select_target_hand
 from ..engine import ExecutionEngine
 from ..extractor import KernelExtractor
 from ..kernel import KernelCodebase, build_default_kernel
-from ..llm import BackendPool, LLMBackend, OracleBackend, backend_for_profile
+from ..llm import BackendPool, LLMBackend, OracleBackend, backend_for_profile, resilient_analyst
 from ..syzlang import SpecCorpus
 from .config import ExperimentConfig, quick
 
@@ -107,21 +107,37 @@ class EvaluationContext:
         single-backend oracle is used, exactly as before.  An injected
         ``analysis_backend`` (the serving layer's coalescing handle) wins
         over both.
+
+        Resilience wrapping (``config.fault_plan`` / ``config.retry_spec``)
+        applies outermost via :func:`~repro.llm.resilient_analyst`, so the
+        pool's members only ever see the retry-converged clean traffic;
+        ``config.breaker_threshold`` arms per-member circuit breakers inside
+        the pool itself.
         """
         if self.analysis_backend is not None:
             return self.analysis_backend
         route_table = dict(self.config.route_table or ())
         if not route_table:
-            return OracleBackend()
+            return resilient_analyst(
+                OracleBackend(),
+                fault_plan=self.config.fault_plan,
+                retry_spec=self.config.retry_spec,
+            )
         members: dict[str, LLMBackend] = {"gpt-4": OracleBackend()}
         for label in route_table.values():
             if label not in members:
                 members[label] = backend_for_profile(label)
-        return BackendPool(
+        pool = BackendPool(
             members,
             default="gpt-4",
             routes=route_table,
             schedule=self.config.pool_schedule,
+            breaker_threshold=self.config.breaker_threshold,
+        )
+        return resilient_analyst(
+            pool,
+            fault_plan=self.config.fault_plan,
+            retry_spec=self.config.retry_spec,
         )
 
     @property
@@ -186,6 +202,7 @@ def shared_context(
     route_table: tuple[tuple[str, str], ...] | None = None,
     repair_mode: str | None = None,
     store_spec: tuple[str, str | None] | None = None,
+    resilience_spec: tuple[str | None, str | None, int | None] | None = None,
 ) -> EvaluationContext:
     """Process-wide cached context (benchmark modules, process-pool workers).
 
@@ -198,7 +215,10 @@ def shared_context(
     serial store-backed engine onto the shared on-disk store (writes merge
     through the store's own locking), and a lockfile additionally pins the
     loads and swaps the analyst for the raising
-    :class:`~repro.store.FrozenBackend`.
+    :class:`~repro.store.FrozenBackend`.  ``resilience_spec`` is the
+    ``(--fault-plan, --retry, --breaker-threshold)`` triple — plain
+    hashable strings/ints so it survives both the lru_cache key and the
+    process-pool pickle.
     """
     from . import config as config_module
 
@@ -211,6 +231,13 @@ def shared_context(
         configuration = configuration.with_overrides(route_table=tuple(route_table))
     if repair_mode:
         configuration = configuration.with_overrides(repair_mode=repair_mode)
+    if resilience_spec is not None:
+        fault_plan, retry_spec, breaker_threshold = resilience_spec
+        configuration = configuration.with_overrides(
+            fault_plan=fault_plan,
+            retry_spec=retry_spec,
+            breaker_threshold=breaker_threshold,
+        )
     context_engine = None
     if store_spec is not None:
         from ..store import ArtifactStore, FrozenLock, StoreBinding

@@ -73,6 +73,7 @@ def run_experiment_for_preset(
     route_table: tuple[tuple[str, str], ...] | None = None,
     repair_mode: str | None = None,
     store_spec: tuple[str, str | None] | None = None,
+    resilience_spec: tuple[str | None, str | None, int | None] | None = None,
 ) -> TableResult:
     """Run one experiment against a worker-local context for ``preset``.
 
@@ -88,13 +89,18 @@ def run_experiment_for_preset(
     the ``--repair-mode`` protocol choice and ``store_spec`` the
     ``--store``/``--frozen`` artifact-store binding (workers share the
     on-disk store; the parent's end-of-run ``--freeze`` snapshot therefore
-    covers their artifacts too).
+    covers their artifacts too).  ``resilience_spec`` forwards the
+    ``(--fault-plan, --retry, --breaker-threshold)`` triple so chaos runs
+    inject the same deterministic fault schedule in every worker process.
     """
     from .context import shared_context
 
     return run_experiment(
         name,
-        shared_context(preset, backends, pool_schedule, route_table, repair_mode, store_spec),
+        shared_context(
+            preset, backends, pool_schedule, route_table, repair_mode, store_spec,
+            resilience_spec,
+        ),
     )
 
 
@@ -105,6 +111,7 @@ def run_table1_for_preset(
     route_table: tuple[tuple[str, str], ...] | None = None,
     repair_mode: str | None = None,
     store_spec: tuple[str, str | None] | None = None,
+    resilience_spec: tuple[str | None, str | None, int | None] | None = None,
 ) -> "tuple[TableResult, str]":
     """table1 plus its §5.1.3 correctness audit as one process-pool payload.
 
@@ -119,7 +126,10 @@ def run_table1_for_preset(
     """
     from .context import shared_context
 
-    ctx = shared_context(preset, backends, pool_schedule, route_table, repair_mode, store_spec)
+    ctx = shared_context(
+        preset, backends, pool_schedule, route_table, repair_mode, store_spec,
+        resilience_spec,
+    )
     return run_table1(ctx), run_correctness_audit(ctx).render()
 
 
@@ -209,6 +219,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="replay a frozen run: resolve every artifact through "
                              "LOCKFILE's pins, refuse live backend traffic with a "
                              "typed FrozenStoreMiss (requires --store)")
+    parser.add_argument("--fault-plan", default=None, metavar="SPEC",
+                        help="deterministic chaos injection for the analysis backend, "
+                             "e.g. rate=0.2,seed=7[,kinds=transient+timeout]: faults "
+                             "are a pure function of (route, prompt, occurrence), so "
+                             "retried runs converge to fault-free bytes")
+    parser.add_argument("--retry", default=None, metavar="SPEC",
+                        help="retry policy for the resilient backend wrapper, e.g. "
+                             "attempts=6 or off; a --fault-plan without --retry uses "
+                             "the default policy (4 attempts, capped backoff)")
+    parser.add_argument("--breaker-threshold", type=int, default=None, metavar="N",
+                        help="arm per-member circuit breakers in BackendPools: open "
+                             "after N consecutive member failures, deterministic "
+                             "failover to the remaining members")
     parser.add_argument("--profile", action="store_true",
                         help="print per-stage timings and cache statistics at the end")
     args = parser.parse_args(argv)
@@ -230,6 +253,25 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_overrides(repair_mode=args.repair_mode)
     if route_table:
         config = config.with_overrides(route_table=route_table)
+    resilience_spec = None
+    if args.fault_plan or args.retry or args.breaker_threshold is not None:
+        # Validate specs at the CLI boundary so a typo fails before any
+        # kernel assembly, not deep inside a worker process.
+        from ..llm import FaultPlan, RetryPolicy
+
+        try:
+            if args.fault_plan:
+                FaultPlan.parse(args.fault_plan)
+            if args.retry and args.retry != "off":
+                RetryPolicy.parse(args.retry)
+        except ValueError as error:
+            raise SystemExit(f"invalid resilience spec: {error}")
+        resilience_spec = (args.fault_plan, args.retry, args.breaker_threshold)
+        config = config.with_overrides(
+            fault_plan=args.fault_plan,
+            retry_spec=args.retry,
+            breaker_threshold=args.breaker_threshold,
+        )
     store = None
     store_binding = None
     if args.store is not None:
@@ -295,7 +337,10 @@ def main(argv: list[str] | None = None) -> int:
                 if args.store is not None
                 else None
             )
-            overrides = (backends, args.pool_schedule, route_table, args.repair_mode, store_spec)
+            overrides = (
+                backends, args.pool_schedule, route_table, args.repair_mode, store_spec,
+                resilience_spec,
+            )
             tasks = [
                 TaskSpec(
                     key=name, fn=run_table1_for_preset,

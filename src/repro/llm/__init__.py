@@ -13,10 +13,18 @@ from .backend import (
 )
 from .coalescer import BatchCoalescer, CoalescingBackend
 from .degraded import PROFILE_FACTORIES, DegradedBackend, backend_for_profile
+from .faults import FAULT_KINDS, FaultPlan, FaultyBackend, request_digest
 from .oracle import OracleBackend, slice_case_block
 from .pool import POOL_SCHEDULES, BackendPool
 from .prompts import ParsedReply, PromptLibrary, UnknownItem, parse_reply
 from .replay import RecordedExchange, RecordingBackend, ReplayBackend, prompt_key
+from .resilience import (
+    CircuitBreaker,
+    ResilientBackend,
+    RetryPolicy,
+    resilient_analyst,
+    wire_resilience_events,
+)
 
 __all__ = [
     "LLMBackend",
@@ -45,4 +53,13 @@ __all__ = [
     "ParsedReply",
     "parse_reply",
     "slice_case_block",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultyBackend",
+    "request_digest",
+    "CircuitBreaker",
+    "ResilientBackend",
+    "RetryPolicy",
+    "resilient_analyst",
+    "wire_resilience_events",
 ]

@@ -28,7 +28,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-from ..errors import LLMBudgetExceeded
+from ..errors import BackendError, LLMBudgetExceeded
 
 
 @dataclass(frozen=True)
@@ -370,17 +370,52 @@ class LLMBackend(abc.ABC):
             else:
                 for request in distinct[:granted]:
                     served.append((request, self.complete(request.prompt)))
+        except BackendError as fault:
+            # A typed serving fault: settle the books exactly like the
+            # generic path below, then enrich the error with the batch
+            # state — which positions (in the caller's request frame)
+            # completed and which failed — so a retry layer re-sends only
+            # the failed remainder and budgets charge each distinct query
+            # once across attempts.
+            self._settle_failed_batch(granted, served)
+            served_positions: dict[int, Completion] = {}
+            failed_entries: list[tuple[int, BaseException]] = []
+            if fault.served is not None or fault.failed is not None:
+                # An inner backend (complete_many path) attached state
+                # relative to the distinct sub-batch; re-map into this
+                # caller's request frame, duplicates included.
+                sub = distinct[:granted]
+                inner_served = fault.served or {}
+                inner_failed = dict(fault.failed or ())
+                for relative, completion in inner_served.items():
+                    for index in positions_by_key[sub[relative].batch_key()]:
+                        served_positions[index] = completion
+                for relative, request in enumerate(sub):
+                    if relative in inner_served:
+                        continue
+                    exc = inner_failed.get(relative, fault)
+                    for index in positions_by_key[request.batch_key()]:
+                        failed_entries.append((index, exc))
+            else:
+                served_keys = {request.batch_key() for request, _ in served}
+                for request, completion in served:
+                    for index in positions_by_key[request.batch_key()]:
+                        served_positions[index] = completion
+                failed_entries = [
+                    (index, fault)
+                    for index, request in enumerate(normalized)
+                    if request.batch_key() not in served_keys
+                ]
+            fault.attach_batch_state(
+                served_positions, tuple(sorted(failed_entries, key=lambda entry: entry[0]))
+            )
+            raise
         except Exception:
-            # Release the reserved-but-unserved slots; what completed stays
-            # reserved and metered, matching a serial loop that failed at
-            # the same point.
-            if self._query_budget is not None:
-                with self._budget_lock:
-                    self._reserved_queries -= granted - len(served)
-            if served:
-                self.usage.record_batch(
-                    (request.prompt, completion) for request, completion in served
-                )
+            # Unclassified failure (a bug, an interrupt): release the
+            # reserved-but-unserved slots; what completed stays reserved
+            # and metered, matching a serial loop that failed at the same
+            # point.
+            self._settle_failed_batch(granted, served)
             raise
         self.usage.record_batch(
             (request.prompt, completion) for request, completion in served
@@ -394,6 +429,23 @@ class LLMBackend(abc.ABC):
             for index in positions_by_key[request.batch_key()]:
                 results[index] = completion
         return results
+
+    def _settle_failed_batch(
+        self, granted: int, served: "list[tuple[LLMRequest, Completion]]"
+    ) -> None:
+        """Book-keeping for a batch that raised mid-serve.
+
+        Releases the reserved-but-unserved budget slots and meters the
+        served prefix, matching a serial loop that failed at the same
+        point.
+        """
+        if self._query_budget is not None:
+            with self._budget_lock:
+                self._reserved_queries -= granted - len(served)
+        if served:
+            self.usage.record_batch(
+                (request.prompt, completion) for request, completion in served
+            )
 
     def remaining_budget(self) -> int | None:
         """Unreserved query slots, or ``None`` when the backend is unmetered.

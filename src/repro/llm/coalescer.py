@@ -46,7 +46,7 @@ import time
 from contextlib import contextmanager
 from typing import Sequence
 
-from ..errors import ServiceSaturated, TenantBudgetExceeded
+from ..errors import BackendError, ServiceSaturated, TenantBudgetExceeded
 from .backend import Completion, LLMBackend, LLMRequest, Prompt
 
 
@@ -95,9 +95,16 @@ class BatchCoalescer:
         #: Optional callable fed one summary dict per non-empty flush
         #: (submissions/requests/distinct counts) — the serving layer's
         #: event-log hook.  Called outside the admission lock, after the
-        #: flush's waiters are released; exceptions are swallowed so a
-        #: broken observer can never kill the flusher thread.
+        #: flush's waiters are released.  A raising observer can never kill
+        #: the flusher thread, but it is not silently dropped either: the
+        #: failure is counted in ``stats()["observer_errors"]`` and routed
+        #: to :attr:`on_observer_error` (the serving layer turns it into an
+        #: ``observer_error`` event-log record).
         self.observer = None
+        #: Optional callable fed each exception a broken :attr:`observer`
+        #: raised; its own exceptions are dropped (there is no fourth
+        #: level of error routing to escalate to).
+        self.on_observer_error = None
         self._stats_lock = threading.Lock()
         self._stats = {
             "flushes": 0,
@@ -108,6 +115,9 @@ class BatchCoalescer:
             "queries_saved_by_coalescing": 0,
             "max_merged_batch": 0,
             "errors": 0,
+            "isolated_flushes": 0,
+            "tenant_faults": 0,
+            "observer_errors": 0,
         }
         self._by_kind: dict[str, dict] = {}
         self._clients: dict[str, dict] = {}
@@ -239,6 +249,17 @@ class BatchCoalescer:
             self._note_flush(batch, merged)
             try:
                 completions = self.backend.complete_batch(merged)
+            except BackendError:
+                # Tenant fault isolation: a backend fault inside a merged
+                # flush must not fail every rider.  Re-serve each
+                # submission individually, in admission order, so only the
+                # submissions whose own requests fault see an error.
+                with self._stats_lock:
+                    self._stats["errors"] += 1
+                    self._stats["isolated_flushes"] += 1
+                self._serve_isolated(batch)
+                self._notify_observer(batch, merged, ok=False)
+                return len(batch)
             except BaseException as exc:  # noqa: BLE001 - delivered to waiters
                 with self._stats_lock:
                     self._stats["errors"] += 1
@@ -255,6 +276,25 @@ class BatchCoalescer:
                 submission.event.set()
             self._notify_observer(batch, merged, ok=True)
             return len(batch)
+
+    def _serve_isolated(self, batch: "list[_Submission]") -> None:
+        """Degraded re-serve after a merged-flush fault: one call per rider.
+
+        Runs under the flush lock, in admission order, so the fallback is
+        as deterministic as the merge it replaces.  Submissions whose own
+        requests still fault get *their* error; everyone else gets served —
+        one tenant's faults never take down a neighbour.  (The backend's
+        own dedupe/memoization keeps the re-serve from recomputing what a
+        retry layer below already converged on.)
+        """
+        for submission in batch:
+            try:
+                submission.results = list(self.backend.complete_batch(submission.requests))
+            except BaseException as exc:  # noqa: BLE001 - delivered to the one waiter
+                submission.error = exc
+                with self._stats_lock:
+                    self._stats["tenant_faults"] += 1
+            submission.event.set()
 
     def _flush_loop(self) -> None:
         """The flusher thread: window / size / expected-clients triggers."""
@@ -360,8 +400,15 @@ class BatchCoalescer:
                     "ok": ok,
                 }
             )
-        except Exception:  # noqa: BLE001 - observers must not break serving
-            pass
+        except Exception as error:  # noqa: BLE001 - observers must not break serving
+            with self._stats_lock:
+                self._stats["observer_errors"] += 1
+            handler = self.on_observer_error
+            if handler is not None:
+                try:
+                    handler(error)
+                except Exception:  # noqa: BLE001 - nowhere left to report to
+                    pass
 
     def _note_flush(self, batch: list[_Submission], merged: list[LLMRequest]) -> None:
         """Record one flush: merge/dedupe accounting plus per-kind batch sizes.

@@ -45,14 +45,27 @@ from __future__ import annotations
 import threading
 from typing import Mapping, Sequence
 
+from ..errors import BackendError
 from .backend import Completion, LLMBackend, LLMRequest, Prompt
+from .resilience import CircuitBreaker
 
 #: Valid scheduler names for untagged-request placement.
 POOL_SCHEDULES = ("tagged", "round-robin")
 
 
 class BackendPool(LLMBackend):
-    """Routes batched requests to member backends by routing tag."""
+    """Routes batched requests to member backends by routing tag.
+
+    With ``breaker_threshold`` set, every member gets a
+    :class:`~repro.llm.resilience.CircuitBreaker` and the pool fails routed
+    requests over: a member whose sub-batch raises a
+    :class:`~repro.errors.BackendError` (or whose breaker is open) hands
+    its still-unserved requests to the next healthy member in declaration
+    order — deterministic, like everything else about placement.  Each
+    serving member meters its own sub-batch, so per-member usage
+    attribution stays exact under failover.  Without a threshold the pool
+    behaves exactly as before (no breakers, errors propagate directly).
+    """
 
     def __init__(
         self,
@@ -61,6 +74,8 @@ class BackendPool(LLMBackend):
         default: str | None = None,
         routes: Mapping[str, str] | None = None,
         schedule: str = "tagged",
+        breaker_threshold: int | None = None,
+        breaker_probe_interval: int = 4,
     ):
         if not members:
             raise ValueError("a BackendPool needs at least one member backend")
@@ -78,6 +93,16 @@ class BackendPool(LLMBackend):
         if self.default not in self.members:
             raise ValueError(f"default member {self.default!r} is not in the pool")
         self.schedule = schedule
+        self.breaker_threshold = breaker_threshold
+        self.breakers: dict[str, CircuitBreaker] = (
+            {
+                name: CircuitBreaker(breaker_threshold, probe_interval=breaker_probe_interval)
+                for name in self.members
+            }
+            if breaker_threshold is not None
+            else {}
+        )
+        self._failover_stats = {"failovers": 0, "denied_by_breaker": 0}
         self._member_names = tuple(self.members)
         self._rr_cursor = 0
         self._schedule_lock = threading.Lock()
@@ -96,9 +121,16 @@ class BackendPool(LLMBackend):
             f"{name}={self.members[name].store_profile()}" for name in sorted(self.members)
         )
         route_parts = ",".join(f"{tag}->{member}" for tag, member in sorted(self.routes.items()))
+        # Breaker-enabled pools can legitimately serve a request from a
+        # failover member, so their artifacts must not share keys with a
+        # breaker-less pool's; breaker-less pools keep the historical
+        # profile string so existing stores stay warm.
+        breaker_part = (
+            f";breaker={self.breaker_threshold}" if self.breaker_threshold is not None else ""
+        )
         return (
             f"pool({member_parts};routes={route_parts};"
-            f"default={self.default};schedule={self.schedule})"
+            f"default={self.default};schedule={self.schedule}{breaker_part})"
         )
 
     def tagged_member(self, request: "LLMRequest | Prompt") -> str | None:
@@ -181,15 +213,37 @@ class BackendPool(LLMBackend):
         for index, member in enumerate(members):
             positions_by_member.setdefault(member, []).append(index)
         results: list[Completion | None] = [None] * len(normalized)
-        for name in self.members:
-            positions = positions_by_member.get(name)
-            if not positions:
-                continue
-            completions = self.members[name].complete_batch(
-                [normalized[index] for index in positions]
-            )
-            for index, completion in zip(positions, completions):
-                results[index] = completion
+        if not self.breakers:
+            for name in self.members:
+                positions = positions_by_member.get(name)
+                if not positions:
+                    continue
+                completions = self.members[name].complete_batch(
+                    [normalized[index] for index in positions]
+                )
+                for index, completion in zip(positions, completions):
+                    results[index] = completion
+        else:
+            unserved: list[tuple[int, BaseException]] = []
+            for name in self.members:
+                positions = positions_by_member.get(name)
+                if not positions:
+                    continue
+                unserved.extend(self._serve_member(name, positions, normalized, results))
+            if unserved:
+                unserved.sort(key=lambda entry: entry[0])
+                primary = unserved[0][1]
+                if not isinstance(primary, BackendError):
+                    raise primary
+                primary.attach_batch_state(
+                    {
+                        index: completion
+                        for index, completion in enumerate(results)
+                        if completion is not None
+                    },
+                    tuple(unserved),
+                )
+                raise primary
         # The pool-level meter records per *request* (the caller's view);
         # member meters record per distinct completion served.  The pool
         # meter is also what travels back from process workers, where the
@@ -200,7 +254,83 @@ class BackendPool(LLMBackend):
         )
         return results
 
+    def _serve_member(
+        self,
+        name: str,
+        positions: list[int],
+        normalized: list[LLMRequest],
+        results: "list[Completion | None]",
+    ) -> list[tuple[int, BaseException]]:
+        """Serve one member's routed positions, failing over on faults.
+
+        Candidates are tried in declaration order starting at the routed
+        member; an open breaker skips a candidate, a ``BackendError``
+        records a breaker failure, absorbs the partial outcome and passes
+        the still-failed positions on.  Returns ``(position, error)`` pairs
+        for requests no healthy member could serve.
+        """
+        order = list(self._member_names)
+        chain = [name] + [member for member in order if member != name]
+        pending = list(positions)
+        last_error: BaseException | None = None
+        for candidate in chain:
+            if not pending:
+                break
+            breaker = self.breakers[candidate]
+            if not breaker.allow():
+                with self._schedule_lock:
+                    self._failover_stats["denied_by_breaker"] += len(pending)
+                continue
+            sub = [normalized[index] for index in pending]
+            try:
+                completions = self.members[candidate].complete_batch(sub)
+            except BackendError as error:
+                breaker.record_failure()
+                last_error = error
+                served = error.served or {}
+                for relative, completion in served.items():
+                    results[pending[relative]] = completion
+                if error.failed:
+                    still_failed = [
+                        (pending[relative], exc) for relative, exc in error.failed
+                    ]
+                else:
+                    still_failed = [
+                        (pending[relative], error)
+                        for relative in range(len(sub))
+                        if relative not in served
+                    ]
+                pending = [index for index, _ in still_failed]
+                last_failed = still_failed
+                continue
+            breaker.record_success()
+            if candidate != name:
+                with self._schedule_lock:
+                    self._failover_stats["failovers"] += len(pending)
+            for index, completion in zip(pending, completions):
+                results[index] = completion
+            pending = []
+        if not pending:
+            return []
+        if last_error is None:
+            # Every candidate's breaker was open: no attempt was even made.
+            from ..errors import TransientBackendError
+
+            denial = TransientBackendError(
+                f"all pool members denied by open breakers "
+                f"({len(pending)} request(s) routed to {name!r})"
+            )
+            return [(index, denial) for index in pending]
+        return last_failed
+
     # -------------------------------------------------------------- reporting
+    def breaker_stats(self) -> dict:
+        """Per-member breaker state plus pool-level failover counters."""
+        return {
+            "members": {name: breaker.stats() for name, breaker in self.breakers.items()},
+            **{key: value for key, value in self._failover_stats.items()},
+        }
+
     def usage_by_member(self) -> dict[str, dict]:
         """Per-member usage summaries keyed by member name.
 

@@ -53,6 +53,12 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "job_admitted": frozenset({"job_id", "kind", "tenant", "label"}),
     "job_finished": frozenset({"job_id", "ok", "queries"}),
     "coalescer_flush": frozenset({"submissions", "requests", "distinct"}),
+    # Resilience layer (repro.llm.faults / repro.llm.resilience).
+    "backend_retry": frozenset({"attempt", "failed", "error"}),
+    "breaker_transition": frozenset({"member", "from", "to"}),
+    "job_retried": frozenset({"job_id", "attempt", "error"}),
+    "observer_error": frozenset({"error"}),
+    "service_drained": frozenset({"clean"}),
 }
 
 

@@ -31,7 +31,14 @@ import time
 from dataclasses import dataclass, field
 
 from ..engine import ExecutionEngine, TaskSpec
-from ..errors import CampaignGateFailed, CampaignPlanError, CampaignTaskFailed
+from ..errors import (
+    BackendError,
+    CampaignGateFailed,
+    CampaignPlanError,
+    CampaignTaskFailed,
+    TransientBackendError,
+    is_permanent_fault,
+)
 from .events import EventLog
 from .plan import CampaignPlan, campaign_key, output_digest, task_input_digest
 
@@ -153,6 +160,26 @@ def _run_fail_until(payload: TaskPayload) -> dict:
     return {"echo": "recovered", "attempt": payload.attempt}
 
 
+def _run_fault_until(payload: TaskPayload) -> dict:
+    """Test handler: raises classified backend faults until ``succeed_at``.
+
+    Unlike :func:`_run_fail_until` (unclassified ``RuntimeError``), the
+    raised error carries the resilience taxonomy: ``transient: true``
+    (default) raises :class:`TransientBackendError` — retried within the
+    task's budget — while ``transient: false`` raises a permanent
+    :class:`BackendError`, which the scheduler fails fast regardless of
+    remaining retries.
+    """
+    params = payload.params_dict()
+    succeed_at = params.get("succeed_at", 1)
+    if payload.attempt < succeed_at:
+        message = f"backend fault on attempt {payload.attempt} (succeeds at {succeed_at})"
+        if params.get("transient", True):
+            raise TransientBackendError(message)
+        raise BackendError(message)
+    return {"echo": "recovered", "attempt": payload.attempt}
+
+
 #: Task kind → module-level handler; module-level so payload dispatch
 #: pickles by name into process workers.
 TASK_HANDLERS = {
@@ -161,6 +188,7 @@ TASK_HANDLERS = {
     "gate": _run_gate,
     "echo": _run_echo,
     "fail_until": _run_fail_until,
+    "fault_until": _run_fault_until,
 }
 
 
@@ -394,7 +422,7 @@ class CampaignScheduler:
                 used = attempts[task.task_id]
                 if task_result.error is not None:
                     error_text = f"{type(task_result.error).__name__}: {task_result.error}"
-                    if used <= task.retries:
+                    if used <= task.retries and not is_permanent_fault(task_result.error):
                         events.emit(
                             "task_retried",
                             task_id=task.task_id,

@@ -92,6 +92,22 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--events", type=Path, default=None, metavar="FILE",
                         help="append a schema'd JSONL event log (job admission/flush/"
                              "completion) to FILE — the same format as campaign --events")
+    parser.add_argument("--fault-plan", default=None, metavar="SPEC",
+                        help="deterministic chaos injection for the analysis backend, "
+                             "e.g. rate=0.2,seed=7: faults are a pure function of "
+                             "(route, prompt, occurrence), so retried runs converge "
+                             "to fault-free bytes")
+    parser.add_argument("--retry", default=None, metavar="SPEC",
+                        help="retry policy for the resilient backend wrapper, e.g. "
+                             "attempts=6 or off; a --fault-plan without --retry uses "
+                             "the default policy (4 attempts, capped backoff)")
+    parser.add_argument("--breaker-threshold", type=int, default=None, metavar="N",
+                        help="arm per-member circuit breakers in BackendPools: open "
+                             "after N consecutive member failures, deterministic "
+                             "failover to the remaining members")
+    parser.add_argument("--job-retries", type=int, default=0, metavar="N",
+                        help="service-wide retry budget for jobs failed by a transient "
+                             "backend fault (default: 0; permanent faults never retry)")
     parser.add_argument("--profile", action="store_true",
                         help="print per-job cache statistics and the coalescer summary")
     args = parser.parse_args(argv)
@@ -104,7 +120,32 @@ def serve_main(argv: list[str] | None = None) -> int:
         parser.error("at least one --job is required")
     tenant_budgets = dict(parse_tenant_budget(entry) for entry in (args.tenant_budget or []))
     config = paper() if args.preset == "paper" else quick()
+    if args.fault_plan or args.retry or args.breaker_threshold is not None:
+        from ..llm import FaultPlan, RetryPolicy
 
+        try:
+            if args.fault_plan:
+                FaultPlan.parse(args.fault_plan)
+            if args.retry and args.retry != "off":
+                RetryPolicy.parse(args.retry)
+        except ValueError as error:
+            raise SystemExit(f"invalid resilience spec: {error}")
+        config = config.with_overrides(
+            fault_plan=args.fault_plan,
+            retry_spec=args.retry,
+            breaker_threshold=args.breaker_threshold,
+        )
+
+    event_log = None
+    if args.events is not None:
+        # The orchestrator's event log doubles as the service's: same JSONL
+        # schema, serve-specific event types, so CI asserts on events here
+        # too instead of scraping --profile output.  Built before the
+        # service so backend retries and breaker transitions are wired from
+        # the first request.
+        from ..orchestrator.events import EventLog
+
+        event_log = EventLog(args.events)
     service = JobService(
         config,
         workers=args.workers,
@@ -116,15 +157,10 @@ def serve_main(argv: list[str] | None = None) -> int:
         executor=args.executor,
         tenant_budgets=tenant_budgets,
         store=args.store,
+        job_retries=args.job_retries,
+        events=event_log,
     )
-    event_log = None
-    if args.events is not None:
-        # The orchestrator's event log doubles as the service's: same JSONL
-        # schema, serve-specific event types, so CI asserts on events here
-        # too instead of scraping --profile output.
-        from ..orchestrator.events import EventLog
-
-        event_log = EventLog(args.events)
+    if event_log is not None:
         service.coalescer.observer = lambda info: event_log.emit("coalescer_flush", **info)
     failures = 0
     try:
@@ -177,6 +213,12 @@ def serve_main(argv: list[str] | None = None) -> int:
         print(f"admission refused: {error}", file=sys.stderr)
         return 2
     finally:
+        # Graceful degradation on exit: drain in-flight jobs first, then
+        # terminate.  The drain verdict is part of the event record — a
+        # dirty drain means results above may be incomplete.
+        clean = service.drain()
+        if event_log is not None:
+            event_log.emit("service_drained", clean=clean)
         service.close()
         if event_log is not None:
             event_log.close()

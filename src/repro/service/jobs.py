@@ -44,6 +44,12 @@ class Job:
     #: Repair protocol override; None uses the generator's configured mode
     #: (``repair`` jobs default to ``transactional``).
     repair_mode: str | None = None
+    #: Job-level retry budget for **transient** backend faults
+    #: (:class:`~repro.errors.TransientBackendError` escaping the job's
+    #: pipeline); ``None`` defers to the service-wide default.  Permanent
+    #: faults and unclassified errors never consume it — they fail the job
+    #: on first occurrence.
+    retries: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -89,6 +95,8 @@ class JobResult:
     text: str = ""
     error: BaseException | None = None
     duration: float = 0.0
+    #: How many times the job ran (1 = no retries were needed).
+    attempts: int = 1
     queries: int = 0
     cache: dict = field(default_factory=dict)
     coalescing: dict = field(default_factory=dict)

@@ -34,7 +34,7 @@ import threading
 import time
 
 from ..engine import ExecutionEngine, GlobalWorkerBudget
-from ..errors import ServiceSaturated
+from ..errors import ServiceSaturated, TransientBackendError
 from ..experiments.config import ExperimentConfig
 from ..experiments.context import EvaluationContext
 from ..kernel import KernelCodebase
@@ -61,6 +61,8 @@ class JobService:
         budget: GlobalWorkerBudget | None = None,
         kernel: KernelCodebase | None = None,
         store: "object | None" = None,
+        job_retries: int = 0,
+        events: "object | None" = None,
     ):
         #: Persistent artifact store (a path or an ArtifactStore): the
         #: service-restart warm cache.  The shared context engine and every
@@ -81,6 +83,19 @@ class JobService:
         # not build private analysts.
         self.context.analysis_backend = inner
         self.backend = inner
+        #: Default transient-fault retry budget for jobs that leave
+        #: ``Job.retries`` unset; permanent faults always fail fast.
+        self.job_retries = max(0, job_retries)
+        #: Optional :class:`~repro.orchestrator.events.EventLog`: backend
+        #: retries, breaker transitions, job retries and observer failures
+        #: are emitted here (the serve CLI passes its ``--events`` log).
+        self.events = events
+        if events is not None:
+            from ..llm import wire_resilience_events
+
+            wire_resilience_events(
+                inner, lambda event_type, fields: events.emit(event_type, **fields)
+            )
         #: ``coalesce=False`` still routes through a coalescer — in drain
         #: mode, where every submission flushes inline and alone.  That
         #: keeps tenant budgets, admission errors and statistics identical
@@ -90,6 +105,12 @@ class JobService:
         self.coalescer = BatchCoalescer(
             inner, window=window, max_batch=max_batch, drain=not coalesce
         )
+        if events is not None:
+            # A broken flush observer is degraded serving, not a silent
+            # no-op: it lands in the event log as an observer_error record.
+            self.coalescer.on_observer_error = lambda error: events.emit(
+                "observer_error", error=f"{type(error).__name__}: {error}"
+            )
         for tenant, limit in (tenant_budgets or {}).items():
             self.coalescer.set_tenant_budget(tenant, limit)
         self.engine_jobs = max(1, engine_jobs)
@@ -111,6 +132,7 @@ class JobService:
         self._running = 0
         self._submitted = 0
         self._closed = False
+        self._terminated = False
         self._handles: dict[str, JobHandle] = {}
         self._threads = [
             threading.Thread(target=self._worker_loop, name=f"job-worker-{index}", daemon=True)
@@ -175,12 +197,6 @@ class JobService:
             job_backend = CoalescingBackend(
                 self.coalescer, tenant=job.tenant, client=job_id
             )
-            job_store = None
-            if self._store is not None:
-                from ..store import StoreBinding
-
-                job_store = StoreBinding(self._store)
-            job_engine = ExecutionEngine(jobs=self.engine_jobs, kind=self.executor, store=job_store)
             result = JobResult(
                 job_id=job_id, label=job.describe(), kind=job.kind, tenant=job.tenant
             )
@@ -190,10 +206,44 @@ class JobService:
                 result.events.append(event)
                 handle._emit(event)
 
-            try:
-                result.text = self._run_job(job, job_backend, job_engine, emit)
-            except BaseException as error:  # noqa: BLE001 - delivered via the handle
-                result.error = error
+            # Transient faults that escape the backend-level retry layer
+            # may retry the *job*; permanent faults and unclassified
+            # errors fail it on first occurrence.  Each attempt gets a
+            # fresh engine (clean memo caches) but shares the job backend,
+            # whose converging fault schedule and budget accounting span
+            # attempts.
+            retry_budget = job.retries if job.retries is not None else self.job_retries
+            attempt = 0
+            while True:
+                attempt += 1
+                job_store = None
+                if self._store is not None:
+                    from ..store import StoreBinding
+
+                    job_store = StoreBinding(self._store)
+                job_engine = ExecutionEngine(
+                    jobs=self.engine_jobs, kind=self.executor, store=job_store
+                )
+                try:
+                    result.text = self._run_job(job, job_backend, job_engine, emit)
+                    result.error = None
+                    break
+                except TransientBackendError as error:
+                    result.error = error
+                    if attempt > retry_budget:
+                        break
+                    emit("retry", f"attempt {attempt} hit a transient fault: {error}")
+                    if self.events is not None:
+                        self.events.emit(
+                            "job_retried",
+                            job_id=job_id,
+                            attempt=attempt,
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                except BaseException as error:  # noqa: BLE001 - delivered via the handle
+                    result.error = error
+                    break
+            result.attempts = attempt
             result.duration = time.perf_counter() - started
             result.queries = job_backend.usage.queries
             result.cache = job_engine.cache_stats()
@@ -302,11 +352,33 @@ class JobService:
             "tenants": self.coalescer.tenant_usage(),
         }
 
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Graceful shutdown, phase one: refuse new jobs, finish in-flight ones.
+
+        Marks the service closed (submissions raise
+        :class:`~repro.errors.ServiceSaturated` immediately) and waits for
+        every queued and running job to deliver its result.  Returns True
+        once the service is idle, False if ``timeout`` elapsed first — the
+        caller decides whether to :meth:`close` anyway.  Idempotent, and
+        :meth:`close` after a successful drain is instantaneous.
+        """
+        with self._lock:
+            self._closed = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if self._pending == 0:
+                    return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.005)
+
     def close(self) -> None:
         """Stop accepting work, drain the workers, release the budget."""
         with self._lock:
-            if self._closed:
+            if self._terminated:
                 return
+            self._terminated = True
             self._closed = True
         for _ in self._threads:
             self._queue.put(None)

@@ -36,6 +36,7 @@ import itertools
 import json
 import os
 import threading
+import time
 from contextlib import contextmanager
 from pathlib import Path
 
@@ -44,7 +45,7 @@ try:
 except ImportError:  # non-POSIX: fall back to thread-level locking only
     fcntl = None
 
-from ..errors import StoreCorruption
+from ..errors import StoreCorruption, StoreLockTimeout
 from .codec import decode_artifact, encode_artifact
 from .keys import StoreKey
 
@@ -61,12 +62,23 @@ class ArtifactStore:
 
     MANIFEST_NAME = "manifest.jsonl"
 
-    def __init__(self, root: "str | os.PathLike"):
+    #: Default bound on how long one manifest operation may wait for the
+    #: inter-process flock before raising :class:`StoreLockTimeout`.  Long
+    #: enough for any healthy writer; finite so a wedged process holding the
+    #: lock surfaces as a diagnosable error instead of a silent hang.
+    DEFAULT_LOCK_TIMEOUT = 30.0
+
+    def __init__(self, root: "str | os.PathLike", *, lock_timeout: float | None = None):
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self.manifest_path = self.root / self.MANIFEST_NAME
         self._lock_path = self.root / ".lock"
+        self.lock_timeout = (
+            self.DEFAULT_LOCK_TIMEOUT if lock_timeout is None else float(lock_timeout)
+        )
+        if self.lock_timeout <= 0:
+            raise ValueError(f"lock_timeout must be positive, got {self.lock_timeout}")
         self._mutex = threading.RLock()
         #: canonical key -> (kind, blob digest); the last manifest line wins.
         self._entries: dict[str, tuple[str, str]] = {}
@@ -79,17 +91,42 @@ class ArtifactStore:
     # ---------------------------------------------------------------- locking
     @contextmanager
     def _locked(self):
-        """Thread lock + advisory inter-process flock around manifest access."""
+        """Thread lock + advisory inter-process flock around manifest access.
+
+        The flock wait is bounded: acquisition is retried non-blocking until
+        :attr:`lock_timeout` elapses, then :class:`StoreLockTimeout` is
+        raised.  The re-entrant thread mutex is held first, so within one
+        process only a single thread ever contends for the file lock.
+        """
         with self._mutex:
             handle = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
             try:
                 if fcntl is not None:
-                    fcntl.flock(handle, fcntl.LOCK_EX)
+                    self._flock_bounded(handle)
                 yield
             finally:
                 if fcntl is not None:
                     fcntl.flock(handle, fcntl.LOCK_UN)
                 os.close(handle)
+
+    def _flock_bounded(self, handle: int) -> None:
+        """Acquire the exclusive flock or raise :class:`StoreLockTimeout`."""
+        deadline = time.monotonic() + self.lock_timeout
+        delay = 0.002
+        while True:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise StoreLockTimeout(
+                        f"store lock {self._lock_path} still held after "
+                        f"{self.lock_timeout:g}s; another process may be wedged",
+                        path=str(self._lock_path),
+                        timeout=self.lock_timeout,
+                    )
+                time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+                delay = min(delay * 2, 0.05)
 
     # --------------------------------------------------------------- manifest
     def _refresh_locked(self) -> None:
@@ -360,10 +397,10 @@ class ArtifactStore:
     # copy re-reads the shared on-disk state, and writes through the same
     # flock discipline as the parent.
     def __getstate__(self) -> dict:
-        return {"root": str(self.root)}
+        return {"root": str(self.root), "lock_timeout": self.lock_timeout}
 
     def __setstate__(self, state: dict) -> None:
-        self.__init__(state["root"])
+        self.__init__(state["root"], lock_timeout=state.get("lock_timeout"))
 
 
 __all__ = ["ArtifactStore"]

@@ -599,3 +599,72 @@ class TestStoreBinding:
         clone = pickle.loads(pickle.dumps(store))
         assert clone.root == store.root
         assert clone.load(key) == "body"
+
+
+# ---------------------------------------------------------------- lock bounds
+class TestLockTimeout:
+    """The manifest flock wait is bounded: a wedged lock holder surfaces as
+    a typed :class:`StoreLockTimeout` instead of a silent hang."""
+
+    HOLDER = (
+        "import fcntl, sys, time\n"
+        "handle = open(sys.argv[1], 'w')\n"
+        "fcntl.flock(handle, fcntl.LOCK_EX)\n"
+        "print('HELD', flush=True)\n"
+        "time.sleep(30)\n"
+    )
+
+    def _hold_lock(self, lock_path):
+        proc = subprocess.Popen(
+            [sys.executable, "-c", self.HOLDER, str(lock_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        assert proc.stdout.readline().strip() == "HELD"
+        return proc
+
+    def test_held_lock_raises_typed_timeout_with_context(self, tmp_path):
+        pytest.importorskip("fcntl")
+        from repro.errors import StoreLockTimeout
+
+        root = tmp_path / "store"
+        ArtifactStore(root)  # lay out the directory and .lock file
+        proc = self._hold_lock(root / ".lock")
+        try:
+            with pytest.raises(StoreLockTimeout) as excinfo:
+                # __init__ refreshes the manifest under the lock, so the
+                # bounded wait trips right at construction.
+                ArtifactStore(root, lock_timeout=0.2)
+            assert excinfo.value.path == str(root / ".lock")
+            assert excinfo.value.timeout == 0.2
+            assert "0.2" in str(excinfo.value)
+        finally:
+            proc.kill()
+            proc.wait()
+
+    def test_save_raises_after_holder_wedges_an_open_store(self, tmp_path):
+        pytest.importorskip("fcntl")
+        from repro.errors import StoreLockTimeout
+        from repro.store import StoreKey
+
+        root = tmp_path / "store"
+        store = ArtifactStore(root, lock_timeout=0.2)
+        proc = self._hold_lock(root / ".lock")
+        try:
+            with pytest.raises(StoreLockTimeout):
+                store.save(StoreKey("extract", ("space", "name")), "body")
+        finally:
+            proc.kill()
+            proc.wait()
+        # The holder is gone: the same handle recovers without rebuilding.
+        store.save(StoreKey("extract", ("space", "name")), "body")
+        assert store.load(StoreKey("extract", ("space", "name"))) == "body"
+
+    def test_nonpositive_timeout_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(tmp_path / "store", lock_timeout=0.0)
+
+    def test_pickle_preserves_the_timeout(self, tmp_path):
+        import pickle
+
+        store = ArtifactStore(tmp_path / "store", lock_timeout=1.5)
+        assert pickle.loads(pickle.dumps(store)).lock_timeout == 1.5
