@@ -1,0 +1,156 @@
+"""Benchmark: cold differential campaign vs warm-store re-run.
+
+The workload is a two-cell differential campaign (``netlink`` vs
+``fs-ioctl``) run twice through the real ``kernelgpt-repro diff`` CLI in
+separate interpreter processes (no in-process cache warmth leaks between
+runs):
+
+* **cold**: an empty artifact store; every task executes;
+* **rerun**: the same store; the config-invariant prefix, both cells and
+  the terminal diffs all match their recorded input digests, so the
+  scheduler serves everything as ``task_reused``.
+
+Before timing is reported, the two runs' stdout and ``--output`` files
+are asserted byte-identical (determinism rule 12), the rerun is asserted
+to have reused the shared ``generate``/``validate`` prefix and every cell
+task, and the cold run to have reused nothing.  The headline is
+``reuse_speedup`` (cold wall / rerun wall).
+
+CI usage (the diff-campaign smoke job)::
+
+    python benchmarks/bench_diffcampaign.py --check benchmarks/BENCH_diffcampaign.json \
+        --json BENCH_diffcampaign.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import filecmp
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.orchestrator.events import read_events  # noqa: E402
+
+CELLS = "fs-ioctl,netlink"
+FUZZ_BUDGET = 120
+
+
+def run_diff_cli(store: Path, events: Path, output: Path, preset: str) -> tuple[float, bytes]:
+    """One diff CLI run in a fresh interpreter; returns (wall_s, stdout)."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable, "-m", "repro.experiments.runner", "diff",
+        "--configs", CELLS,
+        "--preset", preset,
+        "--fuzz-budget", str(FUZZ_BUDGET),
+        "--store", str(store),
+        "--events", str(events),
+        "--output", str(output),
+    ]
+    started = time.perf_counter()
+    completed = subprocess.run(
+        command, cwd=REPO, env=env, check=True,
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+    )
+    return time.perf_counter() - started, completed.stdout
+
+
+def assert_identical_outputs(cold_dir: Path, warm_dir: Path) -> int:
+    cold_files = sorted(path.name for path in cold_dir.iterdir())
+    warm_files = sorted(path.name for path in warm_dir.iterdir())
+    assert cold_files == warm_files, (cold_files, warm_files)
+    match, mismatch, errors = filecmp.cmpfiles(cold_dir, warm_dir, cold_files, shallow=False)
+    assert not mismatch and not errors, (mismatch, errors)
+    return len(match)
+
+
+def measure(preset: str) -> dict:
+    cells = CELLS.split(",")
+    with tempfile.TemporaryDirectory(prefix="bench-diffcampaign-") as scratch_name:
+        scratch = Path(scratch_name)
+        store = scratch / "store"
+        cold_wall, cold_stdout = run_diff_cli(
+            store, scratch / "events-cold.jsonl", scratch / "out-cold", preset
+        )
+        rerun_wall, rerun_stdout = run_diff_cli(
+            store, scratch / "events-rerun.jsonl", scratch / "out-rerun", preset
+        )
+        assert cold_stdout == rerun_stdout, "rerun stdout diverged from the cold run"
+        files = assert_identical_outputs(scratch / "out-cold", scratch / "out-rerun")
+        cold_events = read_events(scratch / "events-cold.jsonl")
+        rerun_events = read_events(scratch / "events-rerun.jsonl")
+        assert not [e for e in cold_events if e["type"] == "task_reused"], \
+            "cold run unexpectedly reused tasks"
+        reused = {e["task_id"] for e in rerun_events if e["type"] == "task_reused"}
+        assert {"generate", "validate"} <= reused, reused
+        for cell in cells:
+            assert f"fuzz:cell:{cell}" in reused and f"report:cell:{cell}" in reused, reused
+        tasks = sum(1 for e in cold_events if e["type"] == "task_scheduled")
+    return {
+        "preset": preset,
+        "cells": len(cells),
+        "tasks": tasks,
+        "files": files,
+        "reused": len(reused),
+        "cold_wall_s": round(cold_wall, 4),
+        "rerun_wall_s": round(rerun_wall, 4),
+        "reuse_speedup": round(cold_wall / rerun_wall, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Differential campaign benchmark: cold run vs warm-store re-run"
+    )
+    parser.add_argument("--preset", choices=["quick", "paper"], default="quick")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the measured trajectory row to this JSON file")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="fail if the reuse speedup drops below the recorded "
+                             "trajectory's check_floor in this JSON file")
+    args = parser.parse_args(argv)
+
+    row = measure(args.preset)
+    print(f"diffcampaign ({row['cells']} cells, {row['tasks']} tasks, preset {row['preset']}): "
+          f"cold {row['cold_wall_s']:.2f}s  rerun {row['rerun_wall_s']:.2f}s "
+          f"({row['reused']} tasks reused)  reuse speedup {row['reuse_speedup']:.2f}x "
+          f"(byte-identical outputs)")
+
+    exit_code = 0
+    if args.check is not None:
+        recorded = json.loads(args.check.read_text())
+        floor = recorded["rows"][-1].get("check_floor", 1.0)
+        measured = row["reuse_speedup"]
+        if measured < floor:
+            print(f"FAIL: measured reuse speedup {measured:.2f}x is below the recorded "
+                  f"floor {floor:.2f}x", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"check ok: {measured:.2f}x >= floor {floor:.2f}x")
+    if args.json is not None:
+        row["check_floor"] = max(1.2, round(row["reuse_speedup"] * 0.6, 2))
+        payload = {"benchmark": "diff-campaign", "rows": [row]}
+        if args.json.exists():
+            try:
+                existing = json.loads(args.json.read_text())
+                payload["rows"] = existing.get("rows", []) + payload["rows"]
+            except (ValueError, KeyError):
+                pass
+        args.json.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote trajectory row to {args.json}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

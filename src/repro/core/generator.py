@@ -256,9 +256,16 @@ class KernelGPT:
         pipeline configuration.  Anything process-local (engine, extractor
         instance) is deliberately absent — the extractor is a pure function
         of the kernel, which the digest already covers.
+
+        The scan/fuzz config digest is folded in alongside the coverage-space
+        digest: the coverage space pins *what exists*, the config digest pins
+        *what is loaded*, and a change to either must miss the store.
         """
+        from ..kconfig import kernel_config_digest
+
         return (
             self.kernel.coverage_space().digest,
+            kernel_config_digest(self.kernel.scan_config(), self.kernel.fuzz_config()),
             self.backend.store_profile(),
             self.backend_route or "",
             self.repair_route or "",

@@ -1,0 +1,17 @@
+"""Differential campaigns: one orchestrated sub-DAG per kernel config cell.
+
+Built on :mod:`repro.kconfig` (the config cells and their pruned coverage
+spaces) and :mod:`repro.orchestrator` (the DAG scheduler, event log and
+digest-keyed task reuse).  See :func:`build_diff_plan` for the DAG layout
+and :func:`repro.diffcampaign.cli.diff_main` for the CLI face.
+"""
+
+from .plan import DIFF_ASPECTS, build_diff_plan, cell_fuzz_id, cell_report_id, diff_task_id
+
+__all__ = [
+    "DIFF_ASPECTS",
+    "build_diff_plan",
+    "cell_fuzz_id",
+    "cell_report_id",
+    "diff_task_id",
+]

@@ -1,0 +1,118 @@
+"""Differential-campaign plans: one orchestrator sub-DAG per config cell.
+
+A differential campaign asks "what does each kernel configuration buy?":
+the same generation pipeline feeds one *cell* per config preset, each cell
+fuzzing only the handlers its config loads and measuring coverage against
+its config-pruned space, then terminal diff-report tasks compare the cells
+— coverage and bugs unique to each cell, the shared baseline, and per-cell
+spec-validity deltas.
+
+The plan reuses the campaign orchestrator wholesale: the shared prefix
+(``generate`` → ``validate``) is built with *identical* task ids and
+parameters to :func:`~repro.orchestrator.plan.build_campaign_plan`'s, so a
+warm artifact store serves the config-invariant prefix as ``task_reused``
+regardless of which cells a run asks for; only the config-dependent cone —
+``fuzz:cell:*`` → ``report:cell:*`` → ``diff:*`` — re-executes per cell.
+Each cell's tasks carry the preset's canonical config digest as a
+parameter, so two cells over different presets can never collide in the
+store even when everything upstream of them agrees.
+"""
+
+from __future__ import annotations
+
+from ..errors import CampaignPlanError
+from ..experiments.config import ExperimentConfig
+from ..kconfig import ConfigPreset
+from ..orchestrator.plan import CampaignPlan, CampaignTask
+
+#: The cross-config comparison aspects, in rendering order.
+DIFF_ASPECTS = ("coverage", "bugs", "validity")
+
+
+def cell_fuzz_id(cell: str) -> str:
+    return f"fuzz:cell:{cell}"
+
+
+def cell_report_id(cell: str) -> str:
+    return f"report:cell:{cell}"
+
+
+def diff_task_id(aspect: str) -> str:
+    return f"diff:{aspect}"
+
+
+def build_diff_plan(
+    config: ExperimentConfig,
+    presets: list[ConfigPreset],
+    *,
+    retries: int = 1,
+    fuzz_budget: int = 200,
+) -> CampaignPlan:
+    """The differential campaign over ``presets`` (the config cells).
+
+    Layout: shared ``generate`` → ``validate`` prefix (byte-identical task
+    identity to the standard campaign plan), then per cell — in sorted
+    preset-name order — a ``cell_fuzz`` task hanging off ``validate`` and a
+    ``cell_report`` task hanging off the fuzz, and finally one ``diff`` task
+    per :data:`DIFF_ASPECTS` depending on every cell report.
+    """
+    if len(presets) < 2:
+        raise CampaignPlanError(
+            f"a differential campaign needs at least 2 config cells, got {len(presets)}"
+        )
+    by_name = {preset.name: preset for preset in presets}
+    if len(by_name) != len(presets):
+        names = [preset.name for preset in presets]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        raise CampaignPlanError(f"duplicate config cells {duplicates}")
+
+    tasks = [
+        CampaignTask.make("generate", "stage", {"stage": "generate"}, retries=retries),
+        CampaignTask.make(
+            "validate", "stage", {"stage": "validate"}, depends_on=("generate",), retries=retries
+        ),
+    ]
+    report_ids = []
+    for name in sorted(by_name):
+        preset = by_name[name]
+        fuzz_id = cell_fuzz_id(name)
+        report_id = cell_report_id(name)
+        tasks.append(
+            CampaignTask.make(
+                fuzz_id,
+                "cell_fuzz",
+                {"cell": name, "config_digest": preset.digest(), "budget": fuzz_budget},
+                depends_on=("validate",),
+                retries=retries,
+            )
+        )
+        tasks.append(
+            CampaignTask.make(
+                report_id,
+                "cell_report",
+                {"cell": name, "config_digest": preset.digest()},
+                depends_on=(fuzz_id,),
+                retries=retries,
+            )
+        )
+        report_ids.append(report_id)
+    for aspect in DIFF_ASPECTS:
+        tasks.append(
+            CampaignTask.make(
+                diff_task_id(aspect),
+                "diff",
+                {"aspect": aspect},
+                depends_on=tuple(report_ids),
+                retries=retries,
+            )
+        )
+    return CampaignPlan(tasks, config, name="diffcampaign")
+
+
+__all__ = [
+    "DIFF_ASPECTS",
+    "build_diff_plan",
+    "cell_fuzz_id",
+    "cell_report_id",
+    "diff_task_id",
+]

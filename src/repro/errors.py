@@ -44,6 +44,16 @@ class KernelModelError(ReproError):
     """Raised when the synthetic kernel substrate is constructed inconsistently."""
 
 
+class ConfigError(KernelModelError):
+    """Raised when a kernel config axis or preset is structurally invalid.
+
+    Covers malformed config option names, duplicate axes within a preset,
+    presets that mix ``enable_all`` with explicit axes, and lookups of
+    unknown preset names.  Raised at model-construction / resolution time,
+    before any pruning or campaign scheduling happens.
+    """
+
+
 class ExtractionError(ReproError):
     """Raised when the source extractor cannot parse or locate a construct."""
 
@@ -205,6 +215,34 @@ class ProgramError(FuzzerError):
 
 class ExecutorError(FuzzerError):
     """Raised when the simulated kernel executor is driven incorrectly."""
+
+
+class CoverageSpaceMismatch(FuzzerError, ValueError):
+    """Raised when bitmaps over different coverage spaces are combined.
+
+    Config-pruned spaces (:func:`repro.kconfig.prune_coverage_space`) make it
+    easy to hold bitmaps whose indices mean different labels; silently
+    unioning them would produce wrong counts, so ``union`` /
+    ``difference_count`` refuse with this typed error instead.  Subclasses
+    ``ValueError`` for compatibility with callers that guarded the historical
+    untyped raise.
+
+    Attributes
+    ----------
+    left_digest / right_digest:
+        The two space digests that failed to align, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        left_digest: str | None = None,
+        right_digest: str | None = None,
+    ):
+        self.left_digest = left_digest
+        self.right_digest = right_digest
+        super().__init__(message)
 
 
 class ExperimentError(ReproError):

@@ -183,6 +183,17 @@ def main(argv: list[str] | None = None) -> int:
         except CampaignPlanError as error:
             print(f"invalid campaign plan: {error}", file=sys.stderr)
             return 2
+    if arguments and arguments[0] == "diff":
+        # Differential campaigns live in repro.diffcampaign; same lazy
+        # import rule as serve/campaign.
+        from ..errors import CampaignPlanError, ConfigError
+        from ..diffcampaign.cli import diff_main
+
+        try:
+            return diff_main(arguments[1:])
+        except (CampaignPlanError, ConfigError) as error:
+            print(f"invalid diff campaign: {error}", file=sys.stderr)
+            return 2
     parser = argparse.ArgumentParser(description="Regenerate the KernelGPT evaluation tables/figures")
     parser.add_argument("--experiment", "-e", action="append", choices=sorted(EXPERIMENTS) + ["all"],
                         default=None, help="experiment(s) to run (default: all)")

@@ -1,0 +1,34 @@
+"""Typed kernel-config model: axes, presets, digests, pruned coverage.
+
+The layer between the kernel substrate's thin
+:class:`~repro.kernel.configs.KernelConfig` predicate and everything that
+needs configurations as first-class values — the differential-campaign
+orchestration in :mod:`repro.diffcampaign`, the generator's store profile,
+and the per-config coverage spaces that keep bitmaps from different configs
+from silently mixing.
+"""
+
+from .axes import KCONFIG_SCHEMA, ConfigAxis, ConfigPreset, kernel_config_digest
+from .presets import (
+    CHAR_DEV_OPTIONS,
+    CONFIG_PRESETS,
+    FS_IOCTL_OPTIONS,
+    NET_FAMILY_OPTIONS,
+    USB_HOTPLUG_OPTIONS,
+    config_preset,
+)
+from .prune import prune_coverage_space
+
+__all__ = [
+    "KCONFIG_SCHEMA",
+    "ConfigAxis",
+    "ConfigPreset",
+    "kernel_config_digest",
+    "CHAR_DEV_OPTIONS",
+    "CONFIG_PRESETS",
+    "FS_IOCTL_OPTIONS",
+    "NET_FAMILY_OPTIONS",
+    "USB_HOTPLUG_OPTIONS",
+    "config_preset",
+    "prune_coverage_space",
+]

@@ -1,0 +1,184 @@
+"""Typed config axes and validated presets over the kernel config predicate.
+
+:class:`~repro.kernel.configs.KernelConfig` is a thin predicate — a set of
+enabled option names plus two exclusion flags.  This module grows it into a
+*model*: a :class:`ConfigAxis` names one feature group (a family of
+``CONFIG_*`` options that stand or fall together — "filesystem ioctl
+surfaces", "network socket families"), and a :class:`ConfigPreset` composes
+axes into a validated, nameable configuration with a canonical SHA-256
+digest.  The digest is pure content — schema tag, sorted options, flags —
+never ``hash()`` or iteration order, so it is identical across processes and
+``PYTHONHASHSEED`` values and safe to fold into store keys and campaign
+task digests.
+
+Two coverage-shaping feature flags ride on the preset: ``include_guards``
+and ``include_requires`` drop the per-op guard-bonus / requires-missing
+blocks from the pruned coverage space (see
+:func:`~repro.kconfig.prune.prune_coverage_space`), modelling configs that
+compile out lockdep-style guard instrumentation.  They participate in the
+digest like everything else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..kernel.configs import ALWAYS_BUILT_IN, KernelConfig
+
+#: Bumped whenever digest derivation or the preset model changes
+#: incompatibly; old store entries go cold instead of being mis-served.
+KCONFIG_SCHEMA = "repro-kconfig-v1"
+
+_OPTION_PATTERN = re.compile(r"^CONFIG_[A-Z0-9_]+$")
+_NAME_PATTERN = re.compile(r"^[a-z0-9][a-z0-9-]*$")
+
+
+def _canonical_json(value) -> str:
+    return json.dumps(value, sort_keys=True, ensure_ascii=False, separators=(",", ":"))
+
+
+def _digest_of(payload) -> str:
+    body = f"{KCONFIG_SCHEMA}\x00{_canonical_json(payload)}"
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ConfigAxis:
+    """One named feature group: the options it turns on when selected."""
+
+    name: str
+    options: tuple[str, ...]
+    description: str = ""
+
+    def __post_init__(self):
+        if not _NAME_PATTERN.match(self.name):
+            raise ConfigError(
+                f"config axis name {self.name!r} must be lowercase kebab-case"
+            )
+        if not self.options:
+            raise ConfigError(f"config axis {self.name!r} names no options")
+        seen: set[str] = set()
+        for option in self.options:
+            if option != ALWAYS_BUILT_IN and not _OPTION_PATTERN.match(option):
+                raise ConfigError(
+                    f"config axis {self.name!r}: option {option!r} is not a "
+                    "CONFIG_* name (or the ALWAYS_BUILT_IN sentinel)"
+                )
+            if option in seen:
+                raise ConfigError(
+                    f"config axis {self.name!r} lists option {option!r} twice"
+                )
+            seen.add(option)
+
+    def as_payload(self) -> dict:
+        return {"name": self.name, "options": sorted(self.options)}
+
+
+@dataclass(frozen=True)
+class ConfigPreset:
+    """A validated, digestable composition of config axes.
+
+    ``enable_all`` models allyesconfig-style presets and is mutually
+    exclusive with explicit axes.  ``exclude_hardware_gated`` /
+    ``exclude_debug`` mirror the kernel-config flags;
+    ``include_guards`` / ``include_requires`` shape the pruned coverage
+    space (guard-bonus and requires-missing blocks).
+    """
+
+    name: str
+    axes: tuple[ConfigAxis, ...] = ()
+    enable_all: bool = False
+    exclude_hardware_gated: bool = True
+    exclude_debug: bool = True
+    include_guards: bool = True
+    include_requires: bool = True
+    description: str = ""
+
+    def __post_init__(self):
+        if not _NAME_PATTERN.match(self.name):
+            raise ConfigError(
+                f"config preset name {self.name!r} must be lowercase kebab-case"
+            )
+        if self.enable_all and self.axes:
+            raise ConfigError(
+                f"config preset {self.name!r} sets enable_all and explicit axes; "
+                "pick one"
+            )
+        if not self.enable_all and not self.axes:
+            raise ConfigError(
+                f"config preset {self.name!r} enables nothing (no axes, "
+                "enable_all off)"
+            )
+        names = [axis.name for axis in self.axes]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ConfigError(
+                f"config preset {self.name!r} has duplicate axes {duplicates}"
+            )
+
+    # ------------------------------------------------------------ resolution
+    def options(self) -> frozenset[str]:
+        """Every option the preset turns on (union over axes)."""
+        enabled: set[str] = set()
+        for axis in self.axes:
+            enabled.update(axis.options)
+        return frozenset(enabled)
+
+    def kernel_config(self) -> KernelConfig:
+        """The preset resolved to the kernel layer's config predicate."""
+        return KernelConfig(
+            name=self.name,
+            enable_all=self.enable_all,
+            enabled=self.options(),
+            exclude_hardware_gated=self.exclude_hardware_gated,
+            exclude_debug=self.exclude_debug,
+        )
+
+    def as_payload(self) -> dict:
+        """The canonical-JSON projection the digest covers."""
+        return {
+            "name": self.name,
+            "axes": [axis.as_payload() for axis in self.axes],
+            "enable_all": self.enable_all,
+            "exclude_hardware_gated": self.exclude_hardware_gated,
+            "exclude_debug": self.exclude_debug,
+            "include_guards": self.include_guards,
+            "include_requires": self.include_requires,
+        }
+
+    def digest(self) -> str:
+        """Canonical SHA-256 config digest (PYTHONHASHSEED-stable)."""
+        return _digest_of(self.as_payload())
+
+
+def kernel_config_digest(*configs: KernelConfig) -> str:
+    """Canonical digest of one or more raw :class:`KernelConfig` predicates.
+
+    The store-key chokepoint for configurations that did not come from a
+    preset (``scan_config()`` / ``fuzz_config()`` derived from a codebase):
+    sorted options, explicit flags, schema-tagged — the same construction as
+    :meth:`ConfigPreset.digest`.
+    """
+    payload = [
+        {
+            "name": config.name,
+            "enable_all": config.enable_all,
+            "enabled": sorted(config.enabled),
+            "exclude_hardware_gated": config.exclude_hardware_gated,
+            "exclude_debug": config.exclude_debug,
+        }
+        for config in configs
+    ]
+    return _digest_of(payload)
+
+
+__all__ = [
+    "KCONFIG_SCHEMA",
+    "ConfigAxis",
+    "ConfigPreset",
+    "kernel_config_digest",
+]

@@ -1,0 +1,120 @@
+"""The shipped config presets: corpora-as-configurations.
+
+Each preset selects one slice of the synthetic kernel's driver/socket
+population by its ``CONFIG_*`` guards, turning the single fixed corpus the
+paper evaluates into a config axis the differential-campaign layer
+(:mod:`repro.diffcampaign`) can sweep.  Presets reference only options that
+exist at both kernel scales (Table 5 / Table 4 / Table 6 handlers), so a
+preset means the same surface on the small test kernel and the full
+scan-scale kernel.
+
+The registry is the lookup chokepoint: ``config_preset(name)`` resolves a
+CLI ``--configs`` entry to its validated preset, raising a typed
+:class:`~repro.errors.ConfigError` naming the valid choices on a miss.
+"""
+
+from __future__ import annotations
+
+from .axes import ConfigAxis, ConfigPreset
+
+#: Table 5 character-device options (the paper's driver evaluation set).
+CHAR_DEV_OPTIONS = (
+    "CONFIG_ISDN_CAPI", "CONFIG_SND", "CONFIG_HPET", "CONFIG_I2C_CHARDEV",
+    "CONFIG_KVM", "CONFIG_MISDN", "CONFIG_NVRAM", "CONFIG_PPP",
+    "CONFIG_UNIX98_PTYS", "CONFIG_CRYPTO_DEV_QAT", "CONFIG_RFKILL",
+    "CONFIG_RTC_CLASS", "CONFIG_HIBERNATION", "CONFIG_SND_TIMER",
+    "CONFIG_VHOST_NET", "CONFIG_VHOST_VSOCK", "CONFIG_VMWARE_VMCI",
+    "CONFIG_VSOCKETS",
+)
+
+#: Filesystem / block ioctl surfaces (Table 5 + Table 4 bug drivers).
+FS_IOCTL_OPTIONS = (
+    "CONFIG_BTRFS_FS", "CONFIG_FUSE_FS", "CONFIG_BLK_DEV_LOOP",
+    "CONFIG_BLK_DEV_NBD", "CONFIG_CHR_DEV_SG", "CONFIG_BLK_DEV_SR",
+    "CONFIG_BLK_DEV_DM", "CONFIG_MTD_UBI",
+)
+
+#: Socket families (Table 6) — the netlink-style network corpus.
+NET_FAMILY_OPTIONS = (
+    "CONFIG_CAIF", "CONFIG_L2TP", "CONFIG_LLC2", "CONFIG_MPTCP",
+    "CONFIG_PACKET", "CONFIG_PHONET", "CONFIG_PPPOL2TP", "CONFIG_RDS",
+    "CONFIG_BT_RFCOMM", "CONFIG_BT_SCO",
+)
+
+#: USB-style hotplug device drivers (Table 4 / Table 5 media + gadget set).
+USB_HOTPLUG_OPTIONS = (
+    "CONFIG_USB_MON", "CONFIG_USB_RAW_GADGET", "CONFIG_USB_VIDEO_CLASS",
+    "CONFIG_INPUT_UINPUT", "CONFIG_UDMABUF", "CONFIG_CEC_CORE",
+    "CONFIG_DVB_CORE", "CONFIG_PTP_1588_CLOCK",
+)
+
+
+def _axis(name: str, options: tuple[str, ...], description: str) -> ConfigAxis:
+    return ConfigAxis(name=name, options=options, description=description)
+
+
+#: Name → validated preset.  Construction happens at import, so an invalid
+#: shipped preset fails the first import, not the first campaign.
+CONFIG_PRESETS: dict[str, ConfigPreset] = {
+    preset.name: preset
+    for preset in (
+        ConfigPreset(
+            name="baseline",
+            enable_all=True,
+            description="everything bootable: allyes minus hardware/debug gating",
+        ),
+        ConfigPreset(
+            name="syzbot",
+            axes=(
+                _axis("char-devices", CHAR_DEV_OPTIONS, "Table 5 character devices"),
+                _axis("fs-ioctls", FS_IOCTL_OPTIONS, "filesystem/block ioctl surfaces"),
+                _axis("net-families", NET_FAMILY_OPTIONS, "Table 6 socket families"),
+                _axis("usb-hotplug", USB_HOTPLUG_OPTIONS, "USB-style hotplug devices"),
+            ),
+            description="the syzbot-like bootable fuzzing set (all named corpora)",
+        ),
+        ConfigPreset(
+            name="netlink",
+            axes=(
+                _axis("net-families", NET_FAMILY_OPTIONS, "Table 6 socket families"),
+            ),
+            description="socket families only: the network-corpus cell",
+        ),
+        ConfigPreset(
+            name="fs-ioctl",
+            axes=(
+                _axis("fs-ioctls", FS_IOCTL_OPTIONS, "filesystem/block ioctl surfaces"),
+            ),
+            description="filesystem and block-device ioctl surfaces only",
+        ),
+        ConfigPreset(
+            name="usb-hotplug",
+            axes=(
+                _axis("usb-hotplug", USB_HOTPLUG_OPTIONS, "USB-style hotplug devices"),
+            ),
+            description="USB-style hotplug drivers only",
+        ),
+    )
+}
+
+
+def config_preset(name: str) -> ConfigPreset:
+    """Resolve a preset by name, with a typed error naming valid choices."""
+    from ..errors import ConfigError
+
+    preset = CONFIG_PRESETS.get(name)
+    if preset is None:
+        raise ConfigError(
+            f"unknown config preset {name!r}; choose from {', '.join(sorted(CONFIG_PRESETS))}"
+        )
+    return preset
+
+
+__all__ = [
+    "CHAR_DEV_OPTIONS",
+    "CONFIG_PRESETS",
+    "FS_IOCTL_OPTIONS",
+    "NET_FAMILY_OPTIONS",
+    "USB_HOTPLUG_OPTIONS",
+    "config_preset",
+]

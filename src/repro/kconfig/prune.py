@@ -1,0 +1,91 @@
+"""Config-pruned coverage spaces.
+
+A coverage bitmap is only meaningful relative to the label space it was
+built against, and the label space depends on the kernel *configuration*:
+a driver that is not loaded contributes no reachable blocks.  Before this
+module, every campaign shared the kernel's full space, so bitmaps produced
+under different configs could be unioned without complaint — silently
+counting blocks one of the two configs cannot reach.
+
+:func:`prune_coverage_space` derives the per-config space: the same
+enumeration as :func:`repro.kernel.coverage.enumerate_kernel_labels`
+(construction order, determinism rule 6), restricted to handlers the config
+loads, with the preset's ``include_guards`` / ``include_requires`` flags
+optionally dropping the guard-bonus / requires-missing block families.
+Because :class:`~repro.kernel.coverage.CoverageSpace` digests its label
+list, two configs that load different surfaces get different space digests
+— and :class:`~repro.errors.CoverageSpaceMismatch` fires on any attempt to
+mix their bitmaps.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING
+
+from ..kernel.configs import KernelConfig
+from ..kernel.coverage import CoverageSpace, enumerate_kernel_labels
+from .axes import ConfigPreset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..kernel.codebase import KernelCodebase
+
+#: kernel → {cache key → pruned space}.  Weak on the kernel so throwaway
+#: test codebases do not pin their spaces; the inner dict is tiny (one entry
+#: per distinct config seen against that kernel).
+_PRUNED_SPACES: "weakref.WeakKeyDictionary[KernelCodebase, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _resolve(config: "ConfigPreset | KernelConfig") -> tuple[KernelConfig, bool, bool]:
+    if isinstance(config, ConfigPreset):
+        return config.kernel_config(), config.include_guards, config.include_requires
+    if isinstance(config, KernelConfig):
+        return config, True, True
+    raise TypeError(
+        f"prune_coverage_space expects a ConfigPreset or KernelConfig, "
+        f"got {type(config).__name__}"
+    )
+
+
+def _cache_key(config: KernelConfig, include_guards: bool, include_requires: bool):
+    return (
+        config.name,
+        config.enable_all,
+        tuple(sorted(config.enabled)),
+        config.exclude_hardware_gated,
+        config.exclude_debug,
+        include_guards,
+        include_requires,
+    )
+
+
+def prune_coverage_space(
+    kernel: "KernelCodebase", config: "ConfigPreset | KernelConfig"
+) -> CoverageSpace:
+    """The coverage space of ``kernel`` as seen under ``config``.
+
+    Labels keep their relative construction order (rule 6), so the same
+    (kernel, config) pair yields an identical space — same indices, same
+    digest — in every process.  An ``enable_all`` config with no exclusions
+    prunes nothing: its space digest equals ``kernel.coverage_space()``'s.
+    """
+    kernel_config, include_guards, include_requires = _resolve(config)
+    cache = _PRUNED_SPACES.setdefault(kernel, {})
+    key = _cache_key(kernel_config, include_guards, include_requires)
+    space = cache.get(key)
+    if space is None:
+        space = CoverageSpace(
+            enumerate_kernel_labels(
+                kernel,
+                kernel_config,
+                include_guards=include_guards,
+                include_requires=include_requires,
+            )
+        )
+        cache[key] = space
+    return space
+
+
+__all__ = ["prune_coverage_space"]

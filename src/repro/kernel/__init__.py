@@ -9,7 +9,7 @@ kernel configurations, and the injected bug catalog of Table 4.
 from .bugs import DEFAULT_BUG_CATALOG, BugCatalog, KernelBug, TABLE4_BUGS
 from .codebase import HandlerRecord, KernelCodebase, build_default_kernel, cached_default_kernel
 from .coverage import COMMON_SOCKCALLS, CoverageBitmap, CoverageSpace, enumerate_kernel_labels
-from .configs import KernelConfig, allyesconfig, syzbot_config
+from .configs import ALWAYS_BUILT_IN, KernelConfig, allyesconfig, syzbot_config
 from .factory import BugSite, DriverProfile, SecondaryProfile, SocketProfile, make_driver, make_socket
 from .ops import (
     ArgKind,
@@ -54,6 +54,7 @@ __all__ = [
     "CoverageBitmap",
     "COMMON_SOCKCALLS",
     "enumerate_kernel_labels",
+    "ALWAYS_BUILT_IN",
     "KernelConfig",
     "allyesconfig",
     "syzbot_config",

@@ -6,12 +6,24 @@ subset Google's syzbot uses).  The reproduction models a configuration as a
 predicate over config option names: a handler whose ``config_option`` is not
 enabled in the active configuration is compiled in (visible to the scan) but
 not loaded (not fuzzable / not counted in Table 1's "loaded" columns).
+
+A handler that is genuinely unconditional — no ``CONFIG_*`` guard in its
+source — must say so explicitly with :data:`ALWAYS_BUILT_IN`.  An *empty*
+option is "unconfigured", which a selective configuration never loads:
+before the sentinel existed, ``option_enabled("")`` returned True
+unconditionally, so config pruning silently enabled every handler whose
+truth forgot to name its option.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
+
+#: Explicit marker for handlers compiled unconditionally (no CONFIG_ guard).
+#: Distinct from the empty string, which means "option unknown/unconfigured"
+#: and is loaded only under ``enable_all`` configurations.
+ALWAYS_BUILT_IN = "<always-built-in>"
 
 
 @dataclass(frozen=True)
@@ -30,12 +42,21 @@ class KernelConfig:
     exclude_hardware_gated: bool = False
     exclude_debug: bool = False
 
-    def option_enabled(self, option: str) -> bool:
-        """Return True if the named config option is on in this configuration."""
-        if not option:
-            return True
+    def option_enabled(self, option: str | None) -> bool:
+        """Return True if the named config option is on in this configuration.
+
+        ``enable_all`` enables everything compiled in, including handlers
+        with an empty (unconfigured) option — the scan must see the whole
+        tree.  A selective configuration enables :data:`ALWAYS_BUILT_IN`
+        handlers and its ``enabled`` options; an empty/None option is *not*
+        treated as always-on.
+        """
         if self.enable_all:
             return True
+        if option == ALWAYS_BUILT_IN:
+            return True
+        if not option:
+            return False
         return option in self.enabled
 
     def loads(self, *, config_option: str, hardware_gated: bool, debug_only: bool) -> bool:
@@ -63,4 +84,4 @@ def syzbot_config(enabled_options: Iterable[str]) -> KernelConfig:
     )
 
 
-__all__ = ["KernelConfig", "allyesconfig", "syzbot_config"]
+__all__ = ["ALWAYS_BUILT_IN", "KernelConfig", "allyesconfig", "syzbot_config"]

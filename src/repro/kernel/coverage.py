@@ -36,8 +36,11 @@ import hashlib
 import weakref
 from typing import TYPE_CHECKING, Iterable, Iterator
 
+from ..errors import CoverageSpaceMismatch
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .codebase import KernelCodebase
+    from .configs import KernelConfig
     from .ops import DriverTruth, IoctlOp, SecondaryHandlerTruth, SockOp, SocketTruth
 
 #: Sockcall syscalls interned for every socket in addition to those its op
@@ -57,7 +60,14 @@ _SPACES_BY_DIGEST: "weakref.WeakValueDictionary[str, CoverageSpace]" = weakref.W
 _SPACES_BY_KERNEL: "weakref.WeakKeyDictionary[KernelCodebase, CoverageSpace]" = weakref.WeakKeyDictionary()
 
 
-def _op_labels(owner: str, op_label: str, op: "IoctlOp | SockOp", *, requires: bool) -> Iterator[str]:
+def _op_labels(
+    owner: str,
+    op_label: str,
+    op: "IoctlOp | SockOp",
+    *,
+    requires: bool,
+    include_guards: bool = True,
+) -> Iterator[str]:
     """Every label :meth:`KernelExecutor._cover_op` can emit for one op."""
     if requires:
         yield f"{owner}:{op_label}:requires-missing"
@@ -65,30 +75,72 @@ def _op_labels(owner: str, op_label: str, op: "IoctlOp | SockOp", *, requires: b
         yield f"{owner}:{op_label}:base:{block}"
     if op.arg_struct is not None:
         yield f"{owner}:{op_label}:copy-in"
-    for guard_index, guard in enumerate(op.guards):
-        for bonus in range(guard.bonus_blocks):
-            yield f"{owner}:{op_label}:guard{guard_index}:{bonus}"
+    if include_guards:
+        for guard_index, guard in enumerate(op.guards):
+            for bonus in range(guard.bonus_blocks):
+                yield f"{owner}:{op_label}:guard{guard_index}:{bonus}"
 
 
-def _ioctl_surface_labels(owner: str, entry_blocks: int, ops: "tuple[IoctlOp, ...]") -> Iterator[str]:
+def _ioctl_surface_labels(
+    owner: str,
+    entry_blocks: int,
+    ops: "tuple[IoctlOp, ...]",
+    *,
+    include_guards: bool = True,
+    include_requires: bool = True,
+) -> Iterator[str]:
     for block in range(entry_blocks):
         yield f"{owner}:ioctl-entry:{block}"
     yield f"{owner}:ioctl-entry:default"
     for op in ops:
-        yield from _op_labels(owner, op.macro, op, requires=True)
+        yield from _op_labels(
+            owner, op.macro, op, requires=include_requires, include_guards=include_guards
+        )
 
 
-def enumerate_kernel_labels(kernel: "KernelCodebase") -> Iterator[str]:
-    """Every coverage label reachable in ``kernel``, in construction order."""
+def enumerate_kernel_labels(
+    kernel: "KernelCodebase",
+    config: "KernelConfig | None" = None,
+    *,
+    include_guards: bool = True,
+    include_requires: bool = True,
+) -> Iterator[str]:
+    """Every coverage label reachable in ``kernel``, in construction order.
+
+    With a ``config``, only handlers the configuration loads contribute
+    (secondary handlers ride their parent driver), and the
+    ``include_guards`` / ``include_requires`` flags drop the guard-bonus /
+    requires-missing block families — the enumeration the config-pruned
+    spaces of :func:`repro.kconfig.prune_coverage_space` are built from.
+    Filtering never reorders: surviving labels keep their relative
+    construction order, which is what keeps pruned spaces determinism-rule-6
+    compliant.
+    """
     for driver in kernel.drivers.values():
+        if config is not None and not config.loads(
+            config_option=driver.config_option,
+            hardware_gated=driver.hardware_gated,
+            debug_only=driver.debug_only,
+        ):
+            continue
         for block in range(driver.open_blocks):
             yield f"{driver.name}:open:{block}"
-        yield from _ioctl_surface_labels(driver.name, driver.ioctl_entry_blocks, driver.ops)
+        yield from _ioctl_surface_labels(
+            driver.name, driver.ioctl_entry_blocks, driver.ops,
+            include_guards=include_guards, include_requires=include_requires,
+        )
         for secondary in driver.secondary_handlers:
             yield from _ioctl_surface_labels(
-                secondary.name, secondary.ioctl_entry_blocks, secondary.ops
+                secondary.name, secondary.ioctl_entry_blocks, secondary.ops,
+                include_guards=include_guards, include_requires=include_requires,
             )
     for socket in kernel.sockets.values():
+        if config is not None and not config.loads(
+            config_option=socket.config_option,
+            hardware_gated=socket.hardware_gated,
+            debug_only=False,
+        ):
+            continue
         for block in range(socket.create_blocks):
             yield f"{socket.name}:create:{block}"
         sockcalls = list(dict.fromkeys(op.syscall for op in socket.ops))
@@ -96,7 +148,10 @@ def enumerate_kernel_labels(kernel: "KernelCodebase") -> Iterator[str]:
         for syscall in sockcalls:
             yield f"{socket.name}:{syscall}:entry"
         for op in socket.ops:
-            yield from _op_labels(socket.name, op.interface_name, op, requires=False)
+            yield from _op_labels(
+                socket.name, op.interface_name, op,
+                requires=False, include_guards=include_guards,
+            )
 
 
 class CoverageSpace:
@@ -252,7 +307,13 @@ class CoverageBitmap:
             and other._digest is not None
             and self._digest != other._digest
         ):
-            raise ValueError("cannot combine coverage bitmaps from different coverage spaces")
+            raise CoverageSpaceMismatch(
+                "cannot combine coverage bitmaps from different coverage spaces "
+                f"({self._digest[:12]}… vs {other._digest[:12]}…); bitmaps from "
+                "different kernel configs must be diffed through their labels",
+                left_digest=self._digest,
+                right_digest=other._digest,
+            )
         if self._space is not None:
             return self._space, self._digest
         return other._space, other._digest

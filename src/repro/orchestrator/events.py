@@ -49,6 +49,9 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "task_skipped": frozenset({"task_id", "blocked_on"}),
     "gate_passed": frozenset({"task_id", "gate", "detail"}),
     "gate_failed": frozenset({"task_id", "gate", "detail"}),
+    # Differential campaigns (repro.diffcampaign): one cell per config.
+    "config_cell_planned": frozenset({"cell", "config_digest"}),
+    "config_cell_finished": frozenset({"cell", "config_digest", "output_digest"}),
     # Serving-layer lifecycle (kernelgpt-repro serve --events).
     "job_admitted": frozenset({"job_id", "kind", "tenant", "label"}),
     "job_finished": frozenset({"job_id", "ok", "queries"}),

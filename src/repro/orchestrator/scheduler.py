@@ -191,10 +191,28 @@ TASK_HANDLERS = {
     "fault_until": _run_fault_until,
 }
 
+#: Task kind → module whose import registers the handler into
+#: :data:`TASK_HANDLERS`.  The self-registration chokepoint for extension
+#: layers (differential campaigns): a process-pool worker that unpickles a
+#: payload of an extension kind imports the module lazily instead of
+#: requiring the parent to have pre-imported it into every worker.
+EXTENSION_HANDLER_MODULES = {
+    "cell_fuzz": "repro.diffcampaign.tasks",
+    "cell_report": "repro.diffcampaign.tasks",
+    "diff": "repro.diffcampaign.tasks",
+}
+
 
 def execute_campaign_task(payload: TaskPayload) -> dict:
     """Run one campaign task; the engine task function for every kind."""
     handler = TASK_HANDLERS.get(payload.kind)
+    if handler is None:
+        module_name = EXTENSION_HANDLER_MODULES.get(payload.kind)
+        if module_name is not None:
+            import importlib
+
+            importlib.import_module(module_name)
+            handler = TASK_HANDLERS.get(payload.kind)
     if handler is None:
         raise CampaignPlanError(f"unknown task kind {payload.kind!r}")
     return handler(payload)
@@ -499,6 +517,7 @@ def run_campaign_plan(
 
 
 __all__ = [
+    "EXTENSION_HANDLER_MODULES",
     "TASK_HANDLERS",
     "CampaignResult",
     "CampaignScheduler",

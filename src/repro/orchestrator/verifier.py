@@ -68,24 +68,38 @@ def _orchestrator_headline(row: dict) -> float:
     return row["reuse_speedup"]
 
 
+def _resilience_headline(row: dict) -> float:
+    return row["overhead_pct"]
+
+
 #: Benchmark name → headline extractor over the trajectory's last row.  The
 #: headline is the figure each benchmark's ``--check`` mode compares against
-#: its floor; the gate applies the identical comparison.
+#: its floor (or ceiling); the gate applies the identical comparison.
 HEADLINE_EXTRACTORS = {
     "fuzzer-hotloop": _fuzzer_headline,
     "service-throughput": _service_headline,
     "campaign-orchestrator": _orchestrator_headline,
+    "diff-campaign": _orchestrator_headline,
+    "resilience-overhead": _resilience_headline,
 }
 
 
 def check_recorded_floor(path: Path) -> dict:
-    """Check one BENCH_*.json trajectory's last row against its floor."""
+    """Check one BENCH_*.json trajectory's last row against its bound.
+
+    Most trajectories record a ``check_floor`` (headline must stay at or
+    above it: speedups, round-trip reductions); overhead-style trajectories
+    record a ``check_ceiling`` instead (headline must stay at or below it).
+    """
     name = path.name
     try:
         data = json.loads(path.read_text(encoding="utf-8"))
         benchmark = data["benchmark"]
         row = data["rows"][-1]
-        floor = row["check_floor"]
+        if "check_floor" in row:
+            bound, is_floor = row["check_floor"], True
+        else:
+            bound, is_floor = row["check_ceiling"], False
     except (ValueError, KeyError, IndexError) as error:
         return {"file": name, "passed": False, "detail": f"unreadable trajectory: {error!r}"}
     extractor = HEADLINE_EXTRACTORS.get(benchmark)
@@ -102,15 +116,16 @@ def check_recorded_floor(path: Path) -> dict:
             headline = extractor(row)
         except (KeyError, ValueError, TypeError) as error:
             return {"file": name, "passed": False, "detail": f"malformed last row: {error!r}"}
-    passed = headline >= floor
-    detail = f"{benchmark}: headline {headline:.2f} vs floor {floor:.2f}"
+    passed = headline >= bound if is_floor else headline <= bound
+    bound_name = "floor" if is_floor else "ceiling"
+    detail = f"{benchmark}: headline {headline:.2f} vs {bound_name} {bound:.2f}"
     return {
         "file": name,
         "passed": passed,
         "detail": detail,
         "benchmark": benchmark,
         "headline": headline,
-        "floor": floor,
+        bound_name: bound,
     }
 
 

@@ -49,9 +49,9 @@ def encode_artifact(kind: str, value) -> bytes:
         if not isinstance(value, str):
             raise TypeError(f"extract artifacts store str, got {type(value).__name__}")
         return _MAGIC_TEXT + value.encode("utf-8")
-    if kind == "campaign":
+    if kind in ("campaign", "diff-report"):
         if not isinstance(value, dict):
-            raise TypeError(f"campaign artifacts store dicts, got {type(value).__name__}")
+            raise TypeError(f"{kind} artifacts store dicts, got {type(value).__name__}")
         body = json.dumps(value, sort_keys=True, ensure_ascii=False, separators=(",", ":"))
         return _MAGIC_JSON + body.encode("utf-8")
     return _MAGIC_PICKLE + pickle.dumps(value, protocol=PICKLE_PROTOCOL)
@@ -61,7 +61,7 @@ def decode_artifact(kind: str, payload: bytes, *, key: str | None = None):
     """Deserialize a verified blob back into its artifact value."""
     expected = (
         _MAGIC_JSON
-        if kind in ("llm", "campaign")
+        if kind in ("llm", "campaign", "diff-report")
         else _MAGIC_TEXT if kind == "extract" else _MAGIC_PICKLE
     )
     if not payload.startswith(expected):
@@ -82,14 +82,14 @@ def decode_artifact(kind: str, payload: bytes, *, key: str | None = None):
             return body.decode("utf-8")
         except UnicodeDecodeError as error:
             raise StoreCorruption(f"extract artifact body is not UTF-8: {error}", key=key)
-    if kind == "campaign":
+    if kind in ("campaign", "diff-report"):
         try:
             value = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as error:
-            raise StoreCorruption(f"campaign artifact body is not valid JSON: {error}", key=key)
+            raise StoreCorruption(f"{kind} artifact body is not valid JSON: {error}", key=key)
         if not isinstance(value, dict):
             raise StoreCorruption(
-                f"campaign artifact body is {type(value).__name__}, expected object", key=key
+                f"{kind} artifact body is {type(value).__name__}, expected object", key=key
             )
         return value
     try:

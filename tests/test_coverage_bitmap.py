@@ -21,9 +21,17 @@ import pickle
 
 import pytest
 
+from repro.errors import CoverageSpaceMismatch
 from repro.fuzzer import Call, Fuzzer, KernelExecutor, Program, ResourceValue, run_campaign
 from repro.fuzzer.reference import run_reference_campaign
-from repro.kernel import CoverageBitmap, CoverageSpace, build_default_kernel, enumerate_kernel_labels
+from repro.kconfig import CONFIG_PRESETS, prune_coverage_space
+from repro.kernel import (
+    CoverageBitmap,
+    CoverageSpace,
+    allyesconfig,
+    build_default_kernel,
+    enumerate_kernel_labels,
+)
 
 #: Matches tests/test_determinism_matrix.py: a repair-heavy driver, a
 #: delegating driver, a socket handler and a plain driver.
@@ -131,6 +139,18 @@ def test_mixed_space_operations_are_rejected(space, small_kernel):
         left.difference_count(right)
 
 
+def test_mixed_space_error_is_typed_and_carries_digests(space):
+    other_space = CoverageSpace(["a:open:0", "a:open:1"])
+    left = CoverageBitmap.from_indices(space, {0})
+    right = CoverageBitmap.from_indices(other_space, {1})
+    with pytest.raises(CoverageSpaceMismatch) as excinfo:
+        left | right
+    assert excinfo.value.left_digest == space.digest
+    assert excinfo.value.right_digest == other_space.digest
+    with pytest.raises(CoverageSpaceMismatch):
+        left - right
+
+
 def test_bitmap_pickles_by_digest(space):
     bitmap = CoverageBitmap.from_indices(space, {0, 7, 31}, extras=("x:y:entry",))
     payload = pickle.dumps(bitmap)
@@ -190,3 +210,78 @@ def test_campaign_bitmap_survives_pickling(small_kernel, dm_result):
     assert clone.coverage == campaign.coverage
     assert clone.coverage.labels() == campaign.coverage.labels()
     assert clone.coverage_count == campaign.coverage_count
+
+
+# ------------------------------------------------- config-pruned spaces
+def _space_labels(space):
+    return [space.label_of(index) for index in range(space.size)]
+
+
+def test_prune_allyes_equals_full_space(small_kernel, space):
+    pruned = prune_coverage_space(small_kernel, allyesconfig())
+    assert pruned.digest == space.digest
+    assert pruned.size == space.size
+    assert _space_labels(pruned) == _space_labels(space)
+
+
+def test_pruned_labels_match_loaded_owner_reference(small_kernel):
+    """Per preset, the pruned space is exactly the full enumeration filtered
+    to owners (drivers + their secondaries, sockets) the config loads —
+    computed here independently, label by label, preserving order (rule 6)."""
+    for preset in CONFIG_PRESETS.values():
+        config = preset.kernel_config()
+        owners = set()
+        for driver in small_kernel.drivers.values():
+            if config.loads(
+                config_option=driver.config_option,
+                hardware_gated=driver.hardware_gated,
+                debug_only=driver.debug_only,
+            ):
+                owners.add(driver.name)
+                owners.update(s.name for s in driver.secondary_handlers)
+        for socket in small_kernel.sockets.values():
+            if config.loads(
+                config_option=socket.config_option,
+                hardware_gated=socket.hardware_gated,
+                debug_only=False,
+            ):
+                owners.add(socket.name)
+        reference = [
+            label
+            for label in enumerate_kernel_labels(small_kernel)
+            if label.split(":", 1)[0] in owners
+        ]
+        pruned = prune_coverage_space(small_kernel, preset)
+        assert _space_labels(pruned) == reference, preset.name
+
+
+def test_preset_flags_drop_guard_and_requires_blocks(small_kernel):
+    base = CONFIG_PRESETS["fs-ioctl"]
+    slim = type(base)(
+        name=base.name,
+        axes=base.axes,
+        include_guards=False,
+        include_requires=False,
+    )
+    full = prune_coverage_space(small_kernel, base)
+    pruned = prune_coverage_space(small_kernel, slim)
+    full_labels = set(_space_labels(full))
+    slim_labels = set(_space_labels(pruned))
+    dropped = full_labels - slim_labels
+    assert dropped and not slim_labels - full_labels
+    assert all(":guard" in label or label.endswith(":requires-missing") for label in dropped)
+    assert full.digest != pruned.digest
+
+
+def test_bitmaps_from_different_pruned_spaces_refuse_to_mix(small_kernel):
+    left_space = prune_coverage_space(small_kernel, CONFIG_PRESETS["netlink"])
+    right_space = prune_coverage_space(small_kernel, CONFIG_PRESETS["fs-ioctl"])
+    assert left_space.digest != right_space.digest
+    left = CoverageBitmap.from_indices(left_space, {0, 1})
+    right = CoverageBitmap.from_indices(right_space, {0, 1})
+    with pytest.raises(CoverageSpaceMismatch):
+        left | right
+    with pytest.raises(CoverageSpaceMismatch):
+        left.difference_count(right)
+    # The supported cross-config comparison: plain label sets.
+    assert isinstance(left.labels() - right.labels(), set)
